@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: the Figure 7 dimension-binding design choice.
+ *
+ * The default binding spreads a weight's bit slices across adjacent
+ * columns of one array (B->XBC); the alternative dedicates one crossbar
+ * per bit plane (B->XB). Bit planes widen the logical columns per array
+ * (fewer horizontal tiles) but multiply the physical arrays per VXB —
+ * DESIGN.md calls this trade-off out as a scheduler-visible choice, and
+ * this bench quantifies it across the benchmark networks on the Table 3
+ * baseline.
+ */
+#include <cstdio>
+
+#include "arch/presets.h"
+#include "bench_util.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "graph/models.h"
+#include "sched/multi_level.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+
+int
+main()
+{
+    std::puts("=== Ablation: dimension binding (B->XBC vs B->XB) ===");
+    const CimArchitecture arch = presets::isaacBaseline();
+    ShapeChecker check;
+
+    TextTable table({"network", "binding", "crossbars mapped",
+                     "latency (cycles)", "vs default"});
+    for (const char *net :
+         {"lenet5", "resnet18", "resnet50", "vit_tiny"}) {
+        const Graph graph = models::byName(net);
+        double default_latency = 0.0;
+        for (bool bit_planes : {false, true}) {
+            ScheduleOptions options = ScheduleOptions::full();
+            options.binding = bit_planes
+                                  ? DimensionBinding::bitsToCrossbars()
+                                  : DimensionBinding::bitsToColumns();
+            auto schedule = scheduleGraph(graph, arch, options);
+            if (!schedule.isOk()) {
+                std::fprintf(stderr, "%s/%d failed: %s\n", net,
+                             bit_planes,
+                             schedule.status().toString().c_str());
+                return 1;
+            }
+            std::int64_t xbs = 0;
+            for (const OperatorMapping &m : schedule.value().ops)
+                xbs += m.totalCrossbars();
+            const double latency =
+                schedule.value().total_latency_cycles;
+            if (!bit_planes)
+                default_latency = latency;
+            table.addRow(
+                {net, bit_planes ? "B->XB (bit planes)" : "B->XBC",
+                 std::to_string(xbs), strformat("%.4g", latency),
+                 strformat("%.2fx", latency / default_latency)});
+
+            // Structural invariant: bit planes multiply per-VXB arrays
+            // by cellsPerWeight for every CIM operator.
+            for (const OperatorMapping &m : schedule.value().ops) {
+                if (!m.is_cim)
+                    continue;
+                check.require(
+                    m.grid.bit_planes ==
+                        (bit_planes ? arch.cellsPerWeight() : 1),
+                    std::string(net) + ": bit_planes field matches "
+                                       "binding");
+            }
+        }
+        table.addSeparator();
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("(bit planes trade horizontal tiling for array count; on "
+              "a 2-bit-cell chip each VXB needs 4 arrays)");
+    return check.finish("ablation_binding");
+}

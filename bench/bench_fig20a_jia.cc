@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 20(a): CIM-MLC vs Jia et al.'s ISSCC'21 SRAM
+ * accelerator scheduling (Figure 17 abstraction, CM mode).
+ *
+ * Paper: CG-grained pipeline alone gives 1.2x over Jia et al.'s own
+ * deployment (model exceeds on-chip resources, so pipelining without
+ * the data-mapping design helps little); pipeline + DP duplication
+ * (CG-P&D) reaches 3.7x.
+ */
+#include <cstdio>
+
+#include "arch/presets.h"
+#include "baselines/vendor.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "graph/models.h"
+#include "sched/multi_level.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+using bench::speedupStr;
+
+int
+main()
+{
+    std::puts("=== Figure 20(a): vs Jia et al. [29] (ISSCC'21, CM mode) "
+              "===");
+    const CimArchitecture arch = presets::jiaIsscc21();
+    // VGG-scale CNN: large enough that the 16-CIMU chip must segment
+    // (the paper notes "the model size exceeds on-chip resources").
+    const Graph graph = models::vgg11();
+
+    auto baseline = jiaVendorSchedule(graph, arch);
+    CIMMLC_CHECK(baseline.isOk()) << baseline.status().toString();
+    const double jia = baseline.value().total_latency_cycles;
+
+    ScheduleOptions pipe_only = ScheduleOptions::none();
+    pipe_only.cg_pipeline = true;
+    auto with_pipe = scheduleGraph(graph, arch, pipe_only);
+    CIMMLC_CHECK(with_pipe.isOk()) << with_pipe.status().toString();
+    const double pipe = with_pipe.value().total_latency_cycles;
+
+    auto with_pd = scheduleGraph(graph, arch, ScheduleOptions::cgOnly());
+    CIMMLC_CHECK(with_pd.isOk()) << with_pd.status().toString();
+    const double pd = with_pd.value().total_latency_cycles;
+
+    TextTable table({"schedule", "speedup (ours)", "speedup (paper)"});
+    table.addRow({"Jia et al. [29]", "1.00x", "1.0x"});
+    table.addRow({"CG-grained w/ Pipeline", speedupStr(jia / pipe),
+                  "1.2x"});
+    table.addRow({"CG-grained w/ P&D", speedupStr(jia / pd), "3.7x"});
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("segments: %zu (chip cannot hold the whole model)\n",
+                with_pd.value().segments.size());
+
+    ShapeChecker check;
+    check.require(pipe < jia, "pipeline must beat the vendor schedule");
+    check.require(pd < pipe, "P&D must beat pipeline alone");
+    check.requireRatio(jia / pipe, 1.0, 1.02, 2.0,
+                       "pipeline-only speedup in the paper's low band");
+    check.requireRatio(jia / pd, 1.0, 1.8, 8.0,
+                       "P&D speedup in the paper's ~3.7x band");
+    check.require(with_pd.value().segments.size() > 1,
+                  "model exceeds on-chip resources -> segmentation");
+    return check.finish("fig20a");
+}

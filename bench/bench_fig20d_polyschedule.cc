@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 20(d): latency vs Poly-Schedule [22] on the Table 3
+ * baseline (VGG16).
+ *
+ * Paper: relative to the unoptimized deployment, Poly-Schedule's greedy
+ * duplication + batch pipeline removes ~84% of computation cycles;
+ * CIM-MLC's fine-grained multi-level schedule removes ~95%, i.e. ~3.2x
+ * over Poly-Schedule.
+ */
+#include <cstdio>
+
+#include "arch/presets.h"
+#include "baselines/poly_schedule.h"
+#include "baselines/vendor.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "graph/models.h"
+#include "sched/multi_level.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+using bench::percentStr;
+using bench::speedupStr;
+
+int
+main()
+{
+    std::puts("=== Figure 20(d): vs Poly-Schedule [22] (VGG16, Table 3 "
+              "baseline) ===");
+    const CimArchitecture arch = presets::isaacBaseline();
+    const Graph graph = models::vgg16();
+
+    auto none = noOptSchedule(graph, arch);
+    CIMMLC_CHECK(none.isOk()) << none.status().toString();
+    auto poly = polySchedule(graph, arch);
+    CIMMLC_CHECK(poly.isOk()) << poly.status().toString();
+    auto ours = scheduleGraph(graph, arch, ScheduleOptions::full());
+    CIMMLC_CHECK(ours.isOk()) << ours.status().toString();
+
+    const double l0 = none.value().total_latency_cycles;
+    const double lp = poly.value().schedule.total_latency_cycles;
+    const double lo = ours.value().total_latency_cycles;
+
+    TextTable table({"schedule", "latency (cycles)", "reduction",
+                     "paper"});
+    table.addRow({"w/o optimization", strformat("%.4g", l0), "-", "-"});
+    table.addRow({"Poly-Schedule [22]", strformat("%.4g", lp),
+                  percentStr(1.0 - lp / l0), "84%"});
+    table.addRow({"CIM-MLC (ours)", strformat("%.4g", lo),
+                  percentStr(1.0 - lo / l0), "95%"});
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("CIM-MLC speedup over Poly-Schedule: %s (paper ~3.2x)\n",
+                speedupStr(lp / lo).c_str());
+
+    ShapeChecker check;
+    check.require(lp < l0, "Poly-Schedule must beat no optimization");
+    check.require(lo < lp, "CIM-MLC must beat Poly-Schedule");
+    check.requireRatio(1.0 - lp / l0, 1.0, 0.5, 0.98,
+                       "Poly reduction near the paper's 84%");
+    check.requireRatio(1.0 - lo / l0, 1.0, 0.85, 1.0,
+                       "CIM-MLC reduction near the paper's 95%");
+    check.requireRatio(lp / lo, 1.0, 1.5, 8.0,
+                       "CIM-MLC vs Poly speedup near the paper's 3.2x");
+    return check.finish("fig20d");
+}

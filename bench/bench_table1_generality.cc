@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Table 1: the generality matrix. The prior-work rows are
+ * transcribed from the paper; the CIM-MLC row is demonstrated by
+ * actually compiling a network on every device type x computing mode
+ * combination (see compiler/capability.cc).
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/capability.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+
+int
+main()
+{
+    std::puts("=== Table 1: generality comparison ===");
+    auto table = renderCapabilityTable();
+    if (!table.isOk()) {
+        std::fprintf(stderr, "capability probe failed: %s\n",
+                     table.status().toString().c_str());
+        return 1;
+    }
+    std::fputs(table.value().c_str(), stdout);
+
+    auto ours = probeCimMlc();
+    ShapeChecker check;
+    check.require(ours.isOk(), "capability probe must succeed");
+    if (ours.isOk()) {
+        check.require(ours.value().sram, "SRAM devices compile");
+        check.require(ours.value().reram, "ReRAM devices compile");
+        check.require(ours.value().misc,
+                      "FLASH/PCM/STT-MRAM devices compile");
+        check.require(ours.value().vvm && ours.value().mvm &&
+                          ours.value().dnn_operator,
+                      "all three interface granularities supported");
+    }
+    return check.finish("table1");
+}

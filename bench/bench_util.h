@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: each bench
+ * prints a paper-expected vs measured table and returns nonzero when the
+ * qualitative shape (ordering / rough factors) is violated.
+ */
+#ifndef CIMMLC_BENCH_BENCH_UTIL_H
+#define CIMMLC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "common/table.h"
+
+namespace cimmlc::bench {
+
+/** Collects shape-check failures across a bench run. */
+class ShapeChecker
+{
+  public:
+    /** Requires @p condition; records @p what on failure. */
+    void
+    require(bool condition, const std::string &what)
+    {
+        if (!condition) {
+            failures_.push_back(what);
+            std::fprintf(stderr, "[shape-check FAILED] %s\n",
+                         what.c_str());
+        }
+    }
+
+    /** Requires a/b to be within [lo, hi]. */
+    void
+    requireRatio(double a, double b, double lo, double hi,
+                 const std::string &what)
+    {
+        const double ratio = b != 0.0 ? a / b : 0.0;
+        require(ratio >= lo && ratio <= hi,
+                strformat("%s: ratio %.3g outside [%.3g, %.3g]",
+                          what.c_str(), ratio, lo, hi));
+    }
+
+    /** Prints the verdict; returns the process exit code. */
+    int
+    finish(const std::string &bench_name) const
+    {
+        if (failures_.empty()) {
+            std::printf("\n[%s] all shape checks PASSED\n",
+                        bench_name.c_str());
+            return 0;
+        }
+        std::printf("\n[%s] %zu shape check(s) FAILED\n",
+                    bench_name.c_str(), failures_.size());
+        return 1;
+    }
+
+  private:
+    std::vector<std::string> failures_;
+};
+
+/** Formats a speedup like "3.2x". */
+inline std::string
+speedupStr(double value)
+{
+    return strformat("%.2fx", value);
+}
+
+/** Formats a percentage like "84%". */
+inline std::string
+percentStr(double fraction)
+{
+    return strformat("%.0f%%", fraction * 100.0);
+}
+
+} // namespace cimmlc::bench
+
+#endif // CIMMLC_BENCH_BENCH_UTIL_H

@@ -1,0 +1,80 @@
+#include "arch/device.h"
+
+#include <cmath>
+
+namespace cimmlc {
+
+const DeviceProfile &
+deviceProfile(CellType cell)
+{
+    // Read latency is normalized to "crossbar activation cycles" at the
+    // accelerator clock; write latency captures the SRAM vs NVM asymmetry
+    // the paper stresses (ReRAM writes ~50x reads, Flash worse).
+    static const DeviceProfile sram{
+        /*read_latency_cycles=*/1.0,
+        /*write_latency_cycles=*/1.0,
+        /*read_energy_pj=*/0.001,
+        /*write_energy_pj=*/0.002,
+        /*weights_stationary=*/false,
+    };
+    static const DeviceProfile reram{
+        /*read_latency_cycles=*/1.0,
+        /*write_latency_cycles=*/50.0,
+        /*read_energy_pj=*/0.002,
+        /*write_energy_pj=*/0.5,
+        /*weights_stationary=*/true,
+    };
+    static const DeviceProfile flash{
+        /*read_latency_cycles=*/2.0,
+        /*write_latency_cycles=*/500.0,
+        /*read_energy_pj=*/0.003,
+        /*write_energy_pj=*/5.0,
+        /*weights_stationary=*/true,
+    };
+    static const DeviceProfile pcm{
+        /*read_latency_cycles=*/1.5,
+        /*write_latency_cycles=*/100.0,
+        /*read_energy_pj=*/0.0025,
+        /*write_energy_pj=*/1.0,
+        /*weights_stationary=*/true,
+    };
+    static const DeviceProfile stt{
+        /*read_latency_cycles=*/1.0,
+        /*write_latency_cycles=*/10.0,
+        /*read_energy_pj=*/0.0015,
+        /*write_energy_pj=*/0.1,
+        /*weights_stationary=*/true,
+    };
+    switch (cell) {
+      case CellType::kSram: return sram;
+      case CellType::kReram: return reram;
+      case CellType::kFlash: return flash;
+      case CellType::kPcm: return pcm;
+      case CellType::kSttMram: return stt;
+    }
+    return reram;
+}
+
+const PeripheralCosts &
+defaultPeripheralCosts()
+{
+    static const PeripheralCosts costs{};
+    return costs;
+}
+
+double
+adcEnergyPj(int bits)
+{
+    // ADC energy grows ~2^bits (Murmann survey trend line).
+    const PeripheralCosts &c = defaultPeripheralCosts();
+    return c.adc_energy_pj_8b * std::pow(2.0, bits - 8);
+}
+
+double
+dacEnergyPj(int bits)
+{
+    const PeripheralCosts &c = defaultPeripheralCosts();
+    return c.dac_energy_pj_1b * bits;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-device cost profiles.
+ *
+ * The paper's motivating observation (Section 2.1): device type changes
+ * read/write asymmetry and therefore the feasible scheduling space —
+ * SRAM-based CIMs update weights freely while ReRAM/Flash CIMs freeze
+ * weights to avoid write penalties. These profiles feed both the scheduler
+ * (weights-stationary policy) and the performance simulator (latency and
+ * energy). Values are first-order numbers from the NVSim / NeuroSim
+ * literature the paper extends; absolute precision is not required, only
+ * the relative ordering (see DESIGN.md "Substitutions").
+ */
+#ifndef CIMMLC_ARCH_DEVICE_H
+#define CIMMLC_ARCH_DEVICE_H
+
+#include "arch/arch.h"
+
+namespace cimmlc {
+
+/** Cost profile of one memory-cell technology. */
+struct DeviceProfile {
+    //! crossbar activation latency (one analog MVM phase), cycles
+    double read_latency_cycles = 1.0;
+    //! per-row programming latency, cycles
+    double write_latency_cycles = 1.0;
+    //! analog read energy per active cell, pJ
+    double read_energy_pj = 0.0005;
+    //! programming energy per cell, pJ
+    double write_energy_pj = 0.01;
+    //! true when runtime weight updates should be avoided
+    bool weights_stationary = false;
+};
+
+/** Profile for @p cell (static table). */
+const DeviceProfile &deviceProfile(CellType cell);
+
+/** Peripheral-circuit energy constants shared by the power model. */
+struct PeripheralCosts {
+    //! ADC energy per conversion at 8-bit; scales 2^bits
+    double adc_energy_pj_8b = 2.0;
+    //! DAC energy per driven row per cycle at 1-bit; scales linearly
+    double dac_energy_pj_1b = 0.02;
+    //! NoC transfer energy per bit per hop, pJ
+    double noc_energy_pj_per_bit_hop = 0.01;
+    //! buffer access energy per bit, pJ
+    double buffer_energy_pj_per_bit = 0.005;
+    //! digital ALU energy per op, pJ
+    double alu_energy_pj_per_op = 0.1;
+};
+
+/** Default peripheral costs (ISAAC-class 32nm estimates). */
+const PeripheralCosts &defaultPeripheralCosts();
+
+/** ADC energy per conversion for @p bits resolution. */
+double adcEnergyPj(int bits);
+
+/** DAC energy per driven row per cycle for @p bits resolution. */
+double dacEnergyPj(int bits);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_ARCH_DEVICE_H

@@ -1,0 +1,146 @@
+#include "arch/presets.h"
+
+#include "common/strutil.h"
+
+namespace cimmlc::presets {
+
+CimArchitecture
+isaacBaseline()
+{
+    CimArchitecture arch;
+    arch.name = "isaac-baseline";
+    arch.mode = ComputeMode::kWLM;
+    arch.chip.core_rows = 32;
+    arch.chip.core_cols = 24; // 768 cores
+    arch.chip.core_noc = NocType::kMesh;
+    arch.chip.core_noc_bandwidth = 384.0;
+    arch.chip.alu_ops_per_cycle = 1024.0;
+    arch.chip.l0_bandwidth = 384.0;
+    arch.core.xb_rows = 4;
+    arch.core.xb_cols = 4; // 16 crossbars
+    arch.core.xb_noc = NocType::kSharedBus;
+    arch.core.alu_ops_per_cycle = 1024.0;
+    arch.core.l1_bandwidth = 8192.0;
+    arch.xbar.rows = 128;
+    arch.xbar.cols = 128;
+    arch.xbar.parallel_row = 8;
+    arch.xbar.dac_bits = 1;
+    arch.xbar.adc_bits = 8;
+    arch.xbar.cell_type = CellType::kReram;
+    arch.xbar.cell_bits = 2;
+    return arch;
+}
+
+CimArchitecture
+jiaIsscc21()
+{
+    CimArchitecture arch;
+    arch.name = "jia-isscc21";
+    arch.mode = ComputeMode::kCM;
+    arch.chip.core_rows = 4;
+    arch.chip.core_cols = 4; // 16 CIMUs
+    arch.chip.core_noc = NocType::kDisjointBufferSwitch;
+    arch.core.xb_rows = 1;
+    arch.core.xb_cols = 1;
+    arch.xbar.rows = 1152;
+    arch.xbar.cols = 256;
+    arch.xbar.parallel_row = 1152;
+    arch.xbar.dac_bits = 1;
+    arch.xbar.adc_bits = 8;
+    arch.xbar.cell_type = CellType::kSram;
+    arch.xbar.cell_bits = 1;
+    return arch;
+}
+
+CimArchitecture
+puma()
+{
+    CimArchitecture arch;
+    arch.name = "puma";
+    arch.mode = ComputeMode::kXBM;
+    arch.chip.core_rows = 6;
+    arch.chip.core_cols = 23; // 138 cores
+    arch.chip.core_noc = NocType::kMesh;
+    arch.chip.core_noc_bandwidth = 384.0;
+    arch.chip.l0_size_kib = 96.0;
+    arch.chip.l0_bandwidth = 384.0;
+    arch.core.xb_rows = 1;
+    arch.core.xb_cols = 2; // 2 crossbars per core
+    arch.core.l1_size_kib = 1.0;
+    arch.xbar.rows = 128;
+    arch.xbar.cols = 128;
+    arch.xbar.parallel_row = 128;
+    arch.xbar.dac_bits = 1;
+    arch.xbar.adc_bits = 8;
+    arch.xbar.cell_type = CellType::kReram;
+    arch.xbar.cell_bits = 2;
+    return arch;
+}
+
+CimArchitecture
+jainJssc21()
+{
+    CimArchitecture arch;
+    arch.name = "jain-jssc21";
+    arch.mode = ComputeMode::kWLM;
+    arch.chip.core_rows = 2;
+    arch.chip.core_cols = 2; // 4 cores
+    arch.chip.core_noc = NocType::kSharedBus;
+    arch.core.xb_rows = 1;
+    arch.core.xb_cols = 2; // 2 crossbars per core
+    arch.xbar.rows = 256;
+    arch.xbar.cols = 64;
+    arch.xbar.parallel_row = 32;
+    arch.xbar.dac_bits = 1;
+    arch.xbar.adc_bits = 6;
+    arch.xbar.cell_type = CellType::kSram;
+    arch.xbar.cell_bits = 1;
+    return arch;
+}
+
+CimArchitecture
+tutorialTable2(ComputeMode mode)
+{
+    CimArchitecture arch;
+    arch.name = strformat("tutorial-table2-%s", computeModeName(mode));
+    arch.mode = mode;
+    arch.chip.core_rows = 2;
+    arch.chip.core_cols = 1; // 2 cores
+    arch.chip.core_noc = NocType::kSharedBus;
+    arch.core.xb_rows = 2;
+    arch.core.xb_cols = 1; // 2 crossbars per core
+    arch.xbar.rows = 32;
+    arch.xbar.cols = 128;
+    arch.xbar.parallel_row = 16;
+    arch.xbar.dac_bits = 8;
+    arch.xbar.adc_bits = 8;
+    arch.xbar.cell_type = CellType::kSram;
+    arch.xbar.cell_bits = 2;
+    return arch;
+}
+
+StatusOr<CimArchitecture>
+byName(const std::string &name)
+{
+    const std::string key = toLower(trim(name));
+    if (key == "isaac" || key == "isaac-baseline" || key == "baseline")
+        return isaacBaseline();
+    if (key == "jia" || key == "jia-isscc21")
+        return jiaIsscc21();
+    if (key == "puma")
+        return puma();
+    if (key == "jain" || key == "jain-jssc21")
+        return jainJssc21();
+    if (key == "tutorial" || key == "tutorial-table2")
+        return tutorialTable2(ComputeMode::kWLM);
+    return notFound("unknown architecture preset '" + name + "'");
+}
+
+std::vector<std::string>
+availablePresets()
+{
+    return {"isaac-baseline", "jia-isscc21", "puma", "jain-jssc21",
+            "tutorial-table2"};
+}
+
+} // namespace cimmlc::presets

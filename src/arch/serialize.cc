@@ -1,0 +1,209 @@
+#include "arch/serialize.h"
+
+namespace cimmlc {
+
+namespace {
+
+/** Reads "[rows, cols]" grid arrays with a scalar-count fallback. */
+Status
+readGrid(const ConfigValue &tier, const std::string &array_key,
+         const std::string &count_key, std::int64_t *rows,
+         std::int64_t *cols)
+{
+    if (tier.has(array_key)) {
+        CIMMLC_ASSIGN_OR_RETURN(ConfigValue arr, tier.get(array_key));
+        if (!arr.isArray() || arr.asArray().size() != 2) {
+            return parseError(array_key + " must be a [rows, cols] array");
+        }
+        *rows = arr.asArray()[0].asInt();
+        *cols = arr.asArray()[1].asInt();
+        return Status::ok();
+    }
+    if (tier.has(count_key)) {
+        // A plain count lays endpoints out in a single row.
+        *rows = 1;
+        *cols = tier.getIntOr(count_key, 1);
+        return Status::ok();
+    }
+    return Status::ok(); // keep defaults
+}
+
+Status
+readNocCost(const ConfigValue &tier, const std::string &key,
+            std::vector<double> *out)
+{
+    if (!tier.has(key))
+        return Status::ok();
+    CIMMLC_ASSIGN_OR_RETURN(ConfigValue arr, tier.get(key));
+    if (!arr.isArray())
+        return parseError(key + " must be an array (row-major matrix)");
+    out->clear();
+    for (const ConfigValue &v : arr.asArray()) {
+        if (!v.isNumber())
+            return parseError(key + " entries must be numbers");
+        out->push_back(v.asNumber());
+    }
+    return Status::ok();
+}
+
+ConfigValue
+gridToConfig(std::int64_t rows, std::int64_t cols)
+{
+    ConfigValue::Array arr;
+    arr.push_back(ConfigValue::makeNumber(static_cast<double>(rows)));
+    arr.push_back(ConfigValue::makeNumber(static_cast<double>(cols)));
+    return ConfigValue::makeArray(std::move(arr));
+}
+
+} // namespace
+
+StatusOr<CimArchitecture>
+archFromConfig(const ConfigValue &doc)
+{
+    if (!doc.isObject())
+        return parseError("architecture config must be an object");
+
+    CimArchitecture arch;
+    arch.name = doc.getStringOr("name", "unnamed");
+    CIMMLC_ASSIGN_OR_RETURN(
+        arch.mode, parseComputeMode(doc.getStringOr("computing_mode",
+                                                    "XBM")));
+    arch.weight_bits =
+        static_cast<int>(doc.getIntOr("weight_bits", 8));
+    arch.activation_bits =
+        static_cast<int>(doc.getIntOr("activation_bits", 8));
+
+    if (doc.has("chip_tier")) {
+        CIMMLC_ASSIGN_OR_RETURN(ConfigValue tier, doc.get("chip_tier"));
+        CIMMLC_RETURN_IF_ERROR(readGrid(tier, "core_grid", "core_number",
+                                        &arch.chip.core_rows,
+                                        &arch.chip.core_cols));
+        CIMMLC_ASSIGN_OR_RETURN(
+            arch.chip.core_noc,
+            parseNocType(tier.getStringOr("core_noc", "ideal")));
+        arch.chip.core_noc_bandwidth =
+            tier.getNumberOr("core_noc_bandwidth", 0.0);
+        CIMMLC_RETURN_IF_ERROR(
+            readNocCost(tier, "core_noc_cost", &arch.chip.core_noc_cost));
+        arch.chip.alu_ops_per_cycle = tier.getNumberOr("alu", 0.0);
+        arch.chip.l0_size_kib = tier.getNumberOr("l0_size_kib", 0.0);
+        arch.chip.l0_bandwidth = tier.getNumberOr("l0_bandwidth", 0.0);
+    }
+    if (doc.has("core_tier")) {
+        CIMMLC_ASSIGN_OR_RETURN(ConfigValue tier, doc.get("core_tier"));
+        CIMMLC_RETURN_IF_ERROR(readGrid(tier, "xb_grid", "xb_number",
+                                        &arch.core.xb_rows,
+                                        &arch.core.xb_cols));
+        CIMMLC_ASSIGN_OR_RETURN(
+            arch.core.xb_noc,
+            parseNocType(tier.getStringOr("xb_noc", "ideal")));
+        arch.core.xb_noc_bandwidth =
+            tier.getNumberOr("xb_noc_bandwidth", 0.0);
+        CIMMLC_RETURN_IF_ERROR(
+            readNocCost(tier, "xb_noc_cost", &arch.core.xb_noc_cost));
+        arch.core.alu_ops_per_cycle = tier.getNumberOr("alu", 0.0);
+        arch.core.l1_size_kib = tier.getNumberOr("l1_size_kib", 0.0);
+        arch.core.l1_bandwidth = tier.getNumberOr("l1_bandwidth", 0.0);
+    }
+    if (doc.has("xb_tier")) {
+        CIMMLC_ASSIGN_OR_RETURN(ConfigValue tier, doc.get("xb_tier"));
+        if (tier.has("xb_size")) {
+            CIMMLC_ASSIGN_OR_RETURN(ConfigValue size,
+                                    tier.get("xb_size"));
+            if (!size.isArray() || size.asArray().size() != 2)
+                return parseError("xb_size must be [rows, cols]");
+            arch.xbar.rows = size.asArray()[0].asInt();
+            arch.xbar.cols = size.asArray()[1].asInt();
+        }
+        arch.xbar.parallel_row =
+            tier.getIntOr("parallel_row", arch.xbar.rows);
+        arch.xbar.dac_bits = static_cast<int>(tier.getIntOr("dac", 1));
+        arch.xbar.adc_bits = static_cast<int>(tier.getIntOr("adc", 8));
+        CIMMLC_ASSIGN_OR_RETURN(
+            arch.xbar.cell_type,
+            parseCellType(tier.getStringOr("type", "ReRAM")));
+        arch.xbar.cell_bits =
+            static_cast<int>(tier.getIntOr("precision", 1));
+    }
+
+    CIMMLC_RETURN_IF_ERROR(arch.validate());
+    return arch;
+}
+
+StatusOr<CimArchitecture>
+archFromText(const std::string &text)
+{
+    CIMMLC_ASSIGN_OR_RETURN(ConfigValue doc, parseConfig(text));
+    return archFromConfig(doc);
+}
+
+StatusOr<CimArchitecture>
+archFromFile(const std::string &path)
+{
+    CIMMLC_ASSIGN_OR_RETURN(ConfigValue doc, loadConfigFile(path));
+    auto result = archFromConfig(doc);
+    if (!result.isOk())
+        return result.status().withContext(path);
+    return result;
+}
+
+ConfigValue
+archToConfig(const CimArchitecture &arch)
+{
+    ConfigValue::Object chip;
+    chip["core_grid"] = gridToConfig(arch.chip.core_rows,
+                                     arch.chip.core_cols);
+    chip["core_noc"] =
+        ConfigValue::makeString(nocTypeName(arch.chip.core_noc));
+    chip["core_noc_bandwidth"] =
+        ConfigValue::makeNumber(arch.chip.core_noc_bandwidth);
+    chip["alu"] = ConfigValue::makeNumber(arch.chip.alu_ops_per_cycle);
+    chip["l0_size_kib"] = ConfigValue::makeNumber(arch.chip.l0_size_kib);
+    chip["l0_bandwidth"] = ConfigValue::makeNumber(arch.chip.l0_bandwidth);
+    if (!arch.chip.core_noc_cost.empty()) {
+        ConfigValue::Array cost;
+        for (double v : arch.chip.core_noc_cost)
+            cost.push_back(ConfigValue::makeNumber(v));
+        chip["core_noc_cost"] = ConfigValue::makeArray(std::move(cost));
+    }
+
+    ConfigValue::Object core;
+    core["xb_grid"] = gridToConfig(arch.core.xb_rows, arch.core.xb_cols);
+    core["xb_noc"] =
+        ConfigValue::makeString(nocTypeName(arch.core.xb_noc));
+    core["xb_noc_bandwidth"] =
+        ConfigValue::makeNumber(arch.core.xb_noc_bandwidth);
+    core["alu"] = ConfigValue::makeNumber(arch.core.alu_ops_per_cycle);
+    core["l1_size_kib"] = ConfigValue::makeNumber(arch.core.l1_size_kib);
+    core["l1_bandwidth"] = ConfigValue::makeNumber(arch.core.l1_bandwidth);
+    if (!arch.core.xb_noc_cost.empty()) {
+        ConfigValue::Array cost;
+        for (double v : arch.core.xb_noc_cost)
+            cost.push_back(ConfigValue::makeNumber(v));
+        core["xb_noc_cost"] = ConfigValue::makeArray(std::move(cost));
+    }
+
+    ConfigValue::Object xb;
+    xb["xb_size"] = gridToConfig(arch.xbar.rows, arch.xbar.cols);
+    xb["parallel_row"] = ConfigValue::makeNumber(
+        static_cast<double>(arch.xbar.parallel_row));
+    xb["dac"] = ConfigValue::makeNumber(arch.xbar.dac_bits);
+    xb["adc"] = ConfigValue::makeNumber(arch.xbar.adc_bits);
+    xb["type"] =
+        ConfigValue::makeString(cellTypeName(arch.xbar.cell_type));
+    xb["precision"] = ConfigValue::makeNumber(arch.xbar.cell_bits);
+
+    ConfigValue::Object doc;
+    doc["name"] = ConfigValue::makeString(arch.name);
+    doc["computing_mode"] =
+        ConfigValue::makeString(computeModeName(arch.mode));
+    doc["weight_bits"] = ConfigValue::makeNumber(arch.weight_bits);
+    doc["activation_bits"] =
+        ConfigValue::makeNumber(arch.activation_bits);
+    doc["chip_tier"] = ConfigValue::makeObject(std::move(chip));
+    doc["core_tier"] = ConfigValue::makeObject(std::move(core));
+    doc["xb_tier"] = ConfigValue::makeObject(std::move(xb));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+} // namespace cimmlc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * kvjson serialization of CimArchitecture, so users can describe new CIM
+ * chips in text files (see the examples/configs directory) without recompiling —
+ * the paper's "same description interface ... to various CIM designs".
+ */
+#ifndef CIMMLC_ARCH_SERIALIZE_H
+#define CIMMLC_ARCH_SERIALIZE_H
+
+#include <string>
+
+#include "arch/arch.h"
+#include "common/config.h"
+#include "common/status.h"
+
+namespace cimmlc {
+
+/** Builds an architecture from a parsed config document. */
+StatusOr<CimArchitecture> archFromConfig(const ConfigValue &doc);
+
+/** Parses an architecture from kvjson text. */
+StatusOr<CimArchitecture> archFromText(const std::string &text);
+
+/** Loads an architecture from a kvjson file. */
+StatusOr<CimArchitecture> archFromFile(const std::string &path);
+
+/** Serializes an architecture back into a config document. */
+ConfigValue archToConfig(const CimArchitecture &arch);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_ARCH_SERIALIZE_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reimplementation of Poly-Schedule (Han et al., JETC'21 [22]) as
+ * described in Section 4.2: operator duplication by a greedy
+ * max-latency-first strategy plus a *batch* pipeline. The batch pipeline
+ * overlaps different input images, so a single image still traverses the
+ * layers serially — which is exactly the gap CIM-MLC's intra-image
+ * MVM-grained pipeline exploits (Figure 20(d)).
+ *
+ * Differences from CIM-MLC, per the paper:
+ *  - graph-level scheduling only: no MVM-grained duplication (Eq. 1),
+ *    no staggered activation, no VVM remapping;
+ *  - greedy duplication (iteratively replicate the currently slowest
+ *    layer) instead of the balanced DP allocation;
+ *  - assumes ample on-chip resources: segmentation is a plain greedy
+ *    cut with no pop-back refinement.
+ */
+#ifndef CIMMLC_BASELINES_POLY_SCHEDULE_H
+#define CIMMLC_BASELINES_POLY_SCHEDULE_H
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/** Poly-Schedule result: per-image latency plus batch throughput. */
+struct PolyResult {
+    Schedule schedule;
+    //! steady-state cycles per image when a large batch streams through
+    double batch_interval_cycles = 0.0;
+};
+
+/** Compiles @p graph with the Poly-Schedule policy. */
+StatusOr<PolyResult> polySchedule(const Graph &graph,
+                                  const CimArchitecture &arch);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_BASELINES_POLY_SCHEDULE_H

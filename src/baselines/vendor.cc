@@ -1,0 +1,37 @@
+#include "baselines/vendor.h"
+
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+
+StatusOr<Schedule>
+jiaVendorSchedule(const Graph &graph, const CimArchitecture &arch)
+{
+    return scheduleGraph(graph, arch, ScheduleOptions::none());
+}
+
+StatusOr<Schedule>
+pumaVendorSchedule(const Graph &graph, const CimArchitecture &arch)
+{
+    ScheduleOptions options;
+    options.cg_duplication = true;
+    options.cg_pipeline = true;
+    options.mvm_duplication = false;
+    options.mvm_pipeline = false; // all-at-once crossbar activation
+    options.vvm_remap = false;
+    return scheduleGraph(graph, arch, options);
+}
+
+StatusOr<Schedule>
+jainVendorSchedule(const Graph &graph, const CimArchitecture &arch)
+{
+    return scheduleGraph(graph, arch, ScheduleOptions::none());
+}
+
+StatusOr<Schedule>
+noOptSchedule(const Graph &graph, const CimArchitecture &arch)
+{
+    return scheduleGraph(graph, arch, ScheduleOptions::none());
+}
+
+} // namespace cimmlc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Vendor scheduling policies for the hardware-baseline comparisons of
+ * Section 4.2: each published chip came with its own (hand-tuned or
+ * compiler-assisted) deployment flow, reproduced here as scheduler
+ * configurations over the same cost model so CIM-MLC's gains are
+ * attributable to scheduling alone.
+ */
+#ifndef CIMMLC_BASELINES_VENDOR_H
+#define CIMMLC_BASELINES_VENDOR_H
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/**
+ * Jia et al. [29] deploy layer-by-layer with a fixed manual mapping:
+ * no duplication, no inter-layer pipeline (Figure 20(a) baseline).
+ */
+StatusOr<Schedule> jiaVendorSchedule(const Graph &graph,
+                                     const CimArchitecture &arch);
+
+/**
+ * PUMA's compiler [4] performs graph-level optimization with inter-layer
+ * pipelining and duplication, but activates all crossbars of an MVM at
+ * once — no MVM-grained staggering (Figure 20(b) baseline).
+ */
+StatusOr<Schedule> pumaVendorSchedule(const Graph &graph,
+                                      const CimArchitecture &arch);
+
+/**
+ * Jain et al.'s macro [27] runs operators serially with naive row-group
+ * order and no remapping (Figure 20(c) baseline).
+ */
+StatusOr<Schedule> jainVendorSchedule(const Graph &graph,
+                                      const CimArchitecture &arch);
+
+/** The "w/o optimization" reference of Figure 20(d). */
+StatusOr<Schedule> noOptSchedule(const Graph &graph,
+                                 const CimArchitecture &arch);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_BASELINES_VENDOR_H

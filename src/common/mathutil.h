@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small integer-math helpers used across mapping and scheduling code.
+ */
+#ifndef CIMMLC_COMMON_MATHUTIL_H
+#define CIMMLC_COMMON_MATHUTIL_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace cimmlc {
+
+/** ceil(a / b) for positive integers. @pre b > 0 */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds @p a up to the next multiple of @p b. @pre b > 0 */
+constexpr std::int64_t
+roundUp(std::int64_t a, std::int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Saturating clamp into [lo, hi]. */
+constexpr std::int64_t
+clampInt(std::int64_t v, std::int64_t lo, std::int64_t hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** True when @p v is a power of two (and positive). */
+constexpr bool
+isPowerOfTwo(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 rounding down. @pre v > 0 */
+constexpr int
+floorLog2(std::int64_t v)
+{
+    int out = -1;
+    while (v > 0) {
+        v >>= 1;
+        ++out;
+    }
+    return out;
+}
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMMON_MATHUTIL_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and workload
+ * synthesis. Uses SplitMix64 so the entire repository is reproducible
+ * independent of the platform's std::mt19937 implementation details.
+ */
+#ifndef CIMMLC_COMMON_RNG_H
+#define CIMMLC_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace cimmlc {
+
+/** SplitMix64 generator; tiny state, excellent statistical quality. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1ull;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Int8-range value, handy for quantized tensor fills. */
+    std::int8_t
+    int8()
+    {
+        return static_cast<std::int8_t>(uniformInt(-128, 127));
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMMON_RNG_H

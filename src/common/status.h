@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Status and StatusOr: lightweight error propagation for library code.
+ *
+ * Library modules report recoverable errors (bad configuration, infeasible
+ * mapping, malformed program) through Status rather than exceptions, in the
+ * spirit of the gem5 fatal()/panic() split: Status is for user-caused
+ * conditions, CHECK/panic macros (logging.h) are for internal invariants.
+ */
+#ifndef CIMMLC_COMMON_STATUS_H
+#define CIMMLC_COMMON_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cimmlc {
+
+/** Error categories carried by Status. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,    //!< caller passed a malformed value
+    kFailedPrecondition, //!< object state does not permit the operation
+    kNotFound,           //!< a named entity does not exist
+    kOutOfRange,         //!< an index or resource bound was exceeded
+    kUnimplemented,      //!< the feature is not supported on this path
+    kResourceExhausted,  //!< the architecture cannot hold the workload
+    kInternal,           //!< invariant violation that was caught gracefully
+    kParseError,         //!< text input could not be parsed
+};
+
+/** Human-readable name of a StatusCode. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Result of an operation that can fail without a payload.
+ *
+ * A default-constructed Status is OK. Error statuses carry a code and a
+ * message assembled at the failure site.
+ */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() : code_(StatusCode::kOk) {}
+
+    /** Constructs an error status; @p code must not be kOk. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Formats "code: message" for logs and test output. */
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "OK";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+    /** Prepends @p context to the message, keeping the code. */
+    Status
+    withContext(const std::string &context) const
+    {
+        if (isOk())
+            return *this;
+        return Status(code_, context + ": " + message_);
+    }
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/** Convenience factories mirroring StatusCode values. */
+inline Status
+invalidArgument(std::string msg)
+{
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status
+failedPrecondition(std::string msg)
+{
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status
+notFound(std::string msg)
+{
+    return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status
+outOfRange(std::string msg)
+{
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status
+unimplemented(std::string msg)
+{
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status
+resourceExhausted(std::string msg)
+{
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status
+internalError(std::string msg)
+{
+    return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status
+parseError(std::string msg)
+{
+    return Status(StatusCode::kParseError, std::move(msg));
+}
+
+/**
+ * Result of an operation that yields a value or an error.
+ *
+ * Access the payload with value() only after checking isOk(); value() on an
+ * error aborts (it is an internal bug, not a user error).
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Implicit construction from a success value. */
+    StatusOr(T value) : status_(Status::ok()), value_(std::move(value)) {}
+
+    /** Implicit construction from an error status. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        // Building a StatusOr from OK without a payload is a bug; demote to
+        // an internal error so the caller still sees a failure.
+        if (status_.isOk()) {
+            status_ = internalError(
+                "StatusOr constructed from OK status without a value");
+        }
+    }
+
+    bool isOk() const { return status_.isOk(); }
+    const Status &status() const { return status_; }
+
+    /** @pre isOk() */
+    const T &
+    value() const &
+    {
+        abortIfError();
+        return *value_;
+    }
+
+    /** @pre isOk() */
+    T &
+    value() &
+    {
+        abortIfError();
+        return *value_;
+    }
+
+    /** @pre isOk() */
+    T &&
+    value() &&
+    {
+        abortIfError();
+        return std::move(*value_);
+    }
+
+    /** Returns the payload or @p fallback when holding an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return isOk() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    void abortIfError() const;
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+namespace detail {
+/** Out-of-line abort helper so status.h does not pull in logging. */
+[[noreturn]] void statusOrAbort(const std::string &message);
+} // namespace detail
+
+template <typename T>
+void
+StatusOr<T>::abortIfError() const
+{
+    if (!isOk())
+        detail::statusOrAbort(status_.toString());
+}
+
+/** Propagates an error Status from the current function. */
+#define CIMMLC_RETURN_IF_ERROR(expr)                                        \
+    do {                                                                    \
+        ::cimmlc::Status _cimmlc_status = (expr);                           \
+        if (!_cimmlc_status.isOk())                                         \
+            return _cimmlc_status;                                          \
+    } while (false)
+
+/** Assigns the payload of a StatusOr or propagates its error. */
+#define CIMMLC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+    CIMMLC_ASSIGN_OR_RETURN_IMPL_(                                          \
+        CIMMLC_STATUS_CONCAT_(_cimmlc_statusor_, __LINE__), lhs, expr)
+
+#define CIMMLC_STATUS_CONCAT_INNER_(a, b) a##b
+#define CIMMLC_STATUS_CONCAT_(a, b) CIMMLC_STATUS_CONCAT_INNER_(a, b)
+#define CIMMLC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)                       \
+    auto tmp = (expr);                                                      \
+    if (!tmp.isOk())                                                        \
+        return tmp.status();                                                \
+    lhs = std::move(tmp).value()
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMMON_STATUS_H

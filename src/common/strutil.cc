@@ -1,0 +1,161 @@
+#include "common/strutil.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cimmlc {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            break;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::string out = strformat("%.*f", digits, value);
+    // Trim trailing zeros but keep at least one decimal for readability.
+    if (out.find('.') != std::string::npos) {
+        std::size_t last = out.find_last_not_of('0');
+        if (out[last] == '.')
+            ++last;
+        out.erase(last + 1);
+    }
+    return out;
+}
+
+std::string
+humanCount(double value)
+{
+    const char *suffix = "";
+    double scaled = value;
+    if (value >= 1e9) {
+        scaled = value / 1e9;
+        suffix = "G";
+    } else if (value >= 1e6) {
+        scaled = value / 1e6;
+        suffix = "M";
+    } else if (value >= 1e3) {
+        scaled = value / 1e3;
+        suffix = "K";
+    }
+    return strformat("%.2f%s", scaled, suffix);
+}
+
+bool
+parseInt64(std::string_view text, std::int64_t *out)
+{
+    std::string owned(trim(text));
+    if (owned.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(owned.c_str(), &end, 10);
+    if (errno != 0 || end != owned.c_str() + owned.size())
+        return false;
+    *out = static_cast<std::int64_t>(value);
+    return true;
+}
+
+bool
+parseDouble(std::string_view text, double *out)
+{
+    std::string owned(trim(text));
+    if (owned.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(owned.c_str(), &end);
+    if (errno != 0 || end != owned.c_str() + owned.size())
+        return false;
+    *out = value;
+    return true;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * String formatting and tokenizing helpers shared across the stack.
+ */
+#ifndef CIMMLC_COMMON_STRUTIL_H
+#define CIMMLC_COMMON_STRUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cimmlc {
+
+/** Splits @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True when @p text ends with @p suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Lower-cases ASCII letters. */
+std::string toLower(std::string_view text);
+
+/** Joins @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Renders a double with @p digits significant decimals, trimming zeros. */
+std::string formatDouble(double value, int digits = 3);
+
+/** Renders counts like 12345678 as "12.35M" for table output. */
+std::string humanCount(double value);
+
+/** Parses a signed integer; returns false on malformed input. */
+bool parseInt64(std::string_view text, std::int64_t *out);
+
+/** Parses a double; returns false on malformed input. */
+bool parseDouble(std::string_view text, double *out);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMMON_STRUTIL_H

@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cimmlc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    CIMMLC_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    CIMMLC_CHECK_EQ(row.size(), header_.size())
+        << "row width mismatch: got " << row.size() << ", want "
+        << header_.size();
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderLine = [&](char fill, char junction) {
+        std::string out;
+        out.push_back(junction);
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out.append(widths[c] + 2, fill);
+            out.push_back(junction);
+        }
+        out.push_back('\n');
+        return out;
+    };
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            out.push_back(' ');
+            out.append(cell);
+            out.append(widths[c] - cell.size() + 1, ' ');
+            out.push_back('|');
+        }
+        out.push_back('\n');
+        return out;
+    };
+
+    std::string out = renderLine('-', '+');
+    out += renderRow(header_);
+    out += renderLine('=', '+');
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += renderLine('-', '+');
+        else
+            out += renderRow(row);
+    }
+    out += renderLine('-', '+');
+    return out;
+}
+
+} // namespace cimmlc

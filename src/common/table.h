@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table renderer used by the bench harness to print paper-style
+ * result tables (expected vs measured rows).
+ */
+#ifndef CIMMLC_COMMON_TABLE_H
+#define CIMMLC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cimmlc {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"network", "speedup (paper)", "speedup (ours)"});
+ *   t.addRow({"ResNet18", "25.4x", "24.1x"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Appends a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Appends a horizontal separator line. */
+    void addSeparator();
+
+    /** Renders the table with box-drawing borders. */
+    std::string render() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMMON_TABLE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Generality matrix (Table 1): which device types, programming
+ * interfaces, and optimization granularities each compiler supports.
+ * The CIM-MLC row is *demonstrated*, not asserted — probeCimMlc()
+ * actually compiles a network on each device/interface combination.
+ */
+#ifndef CIMMLC_COMPILER_CAPABILITY_H
+#define CIMMLC_COMPILER_CAPABILITY_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cimmlc {
+
+/** One row of the Table 1 comparison. */
+struct CapabilityRow {
+    std::string compiler;
+    bool sram = false;
+    bool reram = false;
+    bool misc = false; //!< PCM / FLASH / STT-MRAM
+    bool vvm = false;
+    bool mvm = false;
+    bool dnn_operator = false;
+    std::string optimization_granularity;
+};
+
+/** Static rows for the prior work, as reported in Table 1. */
+std::vector<CapabilityRow> priorWorkCapabilities();
+
+/**
+ * Probes this implementation: compiles a small CNN for every supported
+ * cell type and computing mode and reports what succeeded.
+ */
+StatusOr<CapabilityRow> probeCimMlc();
+
+/** Renders the full Table 1 as text. */
+StatusOr<std::string> renderCapabilityTable();
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMPILER_CAPABILITY_H

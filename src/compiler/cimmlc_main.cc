@@ -1,0 +1,236 @@
+/**
+ * @file
+ * `cimmlc` — the command-line driver over the compilation stack.
+ *
+ * Usage:
+ *   cimmlc --model resnet18 --arch isaac-baseline [options]
+ *   cimmlc --model-file net.json --arch-file chip.json [options]
+ *
+ * Options:
+ *   --model NAME        built-in model (see --list-models)
+ *   --model-file PATH   kvjson graph description
+ *   --arch NAME         architecture preset (see --list-archs)
+ *   --arch-file PATH    kvjson Abs-arch description
+ *   --opt LEVEL         none | cg | cg+mvm | full      (default full)
+ *   --print-flow [N]    print the meta-operator flow (first N stmts)
+ *   --print-schedule    print the per-operator mapping report
+ *   --verify            unroll, execute, and check against the oracle
+ *   --list-models / --list-archs
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "arch/presets.h"
+#include "arch/serialize.h"
+#include "common/rng.h"
+#include "compiler/compiler.h"
+#include "funcsim/verify.h"
+#include "graph/models.h"
+#include "graph/serialize.h"
+#include "mop/printer.h"
+
+using namespace cimmlc;
+
+namespace {
+
+struct CliArgs {
+    std::string model;
+    std::string model_file;
+    std::string arch = "isaac-baseline";
+    std::string arch_file;
+    std::string opt = "full";
+    bool print_flow = false;
+    std::int64_t flow_limit = 40;
+    bool print_schedule = false;
+    bool verify = false;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --model NAME | --model-file PATH\n"
+        "          [--arch NAME | --arch-file PATH] [--opt LEVEL]\n"
+        "          [--print-flow [N]] [--print-schedule] [--verify]\n"
+        "          [--list-models] [--list-archs]\n",
+        argv0);
+    return 2;
+}
+
+StatusOr<ScheduleOptions>
+optionsFor(const std::string &level)
+{
+    if (level == "none")
+        return ScheduleOptions::none();
+    if (level == "cg")
+        return ScheduleOptions::cgOnly();
+    if (level == "cg+mvm" || level == "mvm")
+        return ScheduleOptions::cgMvm();
+    if (level == "full")
+        return ScheduleOptions::full();
+    return invalidArgument("unknown --opt level '" + level + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (flag == "--list-models") {
+            for (const std::string &name : models::availableModels())
+                std::puts(name.c_str());
+            return 0;
+        }
+        if (flag == "--list-archs") {
+            for (const std::string &name : presets::availablePresets())
+                std::puts(name.c_str());
+            return 0;
+        }
+        if (flag == "--model") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.model = v;
+        } else if (flag == "--model-file") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.model_file = v;
+        } else if (flag == "--arch") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.arch = v;
+        } else if (flag == "--arch-file") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.arch_file = v;
+        } else if (flag == "--opt") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.opt = v;
+        } else if (flag == "--print-flow") {
+            args.print_flow = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                args.flow_limit = std::atoll(argv[++i]);
+            }
+        } else if (flag == "--print-schedule") {
+            args.print_schedule = true;
+        } else if (flag == "--verify") {
+            args.verify = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (args.model.empty() && args.model_file.empty())
+        return usage(argv[0]);
+
+    // ----- load the workload ---------------------------------------------
+    Graph graph("unset");
+    if (!args.model_file.empty()) {
+        auto loaded = graphFromFile(args.model_file);
+        if (!loaded.isOk()) {
+            std::fprintf(stderr, "model load failed: %s\n",
+                         loaded.status().toString().c_str());
+            return 1;
+        }
+        graph = std::move(loaded).value();
+    } else {
+        graph = models::byName(args.model);
+    }
+
+    // ----- load the architecture -------------------------------------------
+    CimArchitecture arch;
+    if (!args.arch_file.empty()) {
+        auto loaded = archFromFile(args.arch_file);
+        if (!loaded.isOk()) {
+            std::fprintf(stderr, "arch load failed: %s\n",
+                         loaded.status().toString().c_str());
+            return 1;
+        }
+        arch = std::move(loaded).value();
+    } else {
+        auto preset = presets::byName(args.arch);
+        if (!preset.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         preset.status().toString().c_str());
+            return 1;
+        }
+        arch = std::move(preset).value();
+    }
+
+    auto options = optionsFor(args.opt);
+    if (!options.isOk()) {
+        std::fprintf(stderr, "%s\n", options.status().toString().c_str());
+        return 1;
+    }
+
+    // ----- compile ---------------------------------------------------------
+    std::fputs(arch.toString().c_str(), stdout);
+    std::printf("workload: %s (%zu nodes, %lld weights)\n\n",
+                graph.name().c_str(), graph.nodeCount(),
+                static_cast<long long>(graph.totalWeights()));
+
+    CimCompiler compiler(arch, options.value());
+    auto result = compiler.compile(graph);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+    const CompileResult &compiled = result.value();
+
+    if (args.print_schedule)
+        std::fputs(compiled.schedule.summary(graph).c_str(), stdout);
+    std::printf("perf: %s\n", compiled.perf.toString().c_str());
+    std::printf("flow: %s\n", compiled.code.program.summary().c_str());
+
+    if (args.print_flow) {
+        PrintOptions print;
+        print.max_statements = args.flow_limit;
+        std::fputs(printProgram(compiled.code.program, print).c_str(),
+                   stdout);
+    }
+
+    // ----- optional functional verification ---------------------------------
+    if (args.verify) {
+        Rng rng(1234);
+        graph.randomizeWeights(rng);
+        std::map<TensorId, Int8Tensor> inputs;
+        for (TensorId in : graph.inputs()) {
+            Int8Tensor t(TensorShape(graph.tensor(in).dims));
+            t.fillRandom(rng, -16, 16);
+            inputs.emplace(in, std::move(t));
+        }
+        auto report = verifyCompiledFlow(graph, arch, options.value(),
+                                         inputs);
+        if (!report.isOk()) {
+            std::fprintf(stderr, "verification failed to run: %s\n",
+                         report.status().toString().c_str());
+            return 1;
+        }
+        std::printf("verify: %s (%lld elements, %lld flow ops)\n",
+                    report.value().match ? "BIT-EXACT MATCH"
+                                         : "MISMATCH",
+                    static_cast<long long>(
+                        report.value().elements_checked),
+                    static_cast<long long>(report.value().flow_ops));
+        if (!report.value().match) {
+            std::fprintf(stderr, "  first mismatch: %s\n",
+                         report.value().first_mismatch.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,26 @@
+#include "compiler/compiler.h"
+
+namespace cimmlc {
+
+StatusOr<CompileResult>
+CimCompiler::compile(const Graph &graph,
+                     const CodegenOptions &codegen) const
+{
+    CompileResult result;
+    CIMMLC_ASSIGN_OR_RETURN(result.schedule,
+                            scheduleGraph(graph, arch_, options_));
+    CIMMLC_ASSIGN_OR_RETURN(
+        result.code,
+        generateProgram(graph, arch_, result.schedule, codegen));
+    CIMMLC_ASSIGN_OR_RETURN(
+        result.perf, evaluateSchedule(graph, arch_, result.schedule));
+    return result;
+}
+
+StatusOr<Schedule>
+CimCompiler::scheduleOnly(const Graph &graph) const
+{
+    return scheduleGraph(graph, arch_, options_);
+}
+
+} // namespace cimmlc

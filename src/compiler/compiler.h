@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CimCompiler: the one-call public API of the stack.
+ *
+ * Mirrors the paper's end-to-end flow (Figure 3): a DNN computation
+ * graph plus an Abs-arch description goes in; a multi-level schedule,
+ * a meta-operator flow, and a performance report come out.
+ *
+ * @code
+ *   CimArchitecture arch = presets::isaacBaseline();
+ *   CimCompiler compiler(arch);
+ *   auto result = compiler.compile(models::resnet18());
+ *   std::cout << result.value().perf.toString() << "\n";
+ * @endcode
+ */
+#ifndef CIMMLC_COMPILER_COMPILER_H
+#define CIMMLC_COMPILER_COMPILER_H
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "mop/program.h"
+#include "perfsim/perf_model.h"
+#include "sched/codegen.h"
+#include "sched/multi_level.h"
+#include "sched/options.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/** Everything one compilation produces. */
+struct CompileResult {
+    Schedule schedule;
+    CodegenResult code;
+    PerfReport perf;
+};
+
+/** Facade over scheduling, code generation, and evaluation. */
+class CimCompiler
+{
+  public:
+    explicit CimCompiler(CimArchitecture arch,
+                         ScheduleOptions options = ScheduleOptions::full())
+        : arch_(std::move(arch)), options_(options)
+    {
+    }
+
+    const CimArchitecture &arch() const { return arch_; }
+    const ScheduleOptions &options() const { return options_; }
+    void setOptions(const ScheduleOptions &options) { options_ = options; }
+
+    /**
+     * Compiles @p graph: schedule + meta-operator flow + perf report.
+     * Codegen defaults to compressed emission (repeat blocks); pass
+     * custom @p codegen options with unroll=true for executable flows.
+     */
+    StatusOr<CompileResult>
+    compile(const Graph &graph,
+            const CodegenOptions &codegen = compressedCodegen()) const;
+
+    /** Schedule-only entry point (no codegen), cheaper for sweeps. */
+    StatusOr<Schedule> scheduleOnly(const Graph &graph) const;
+
+    /** Default compressed codegen options. */
+    static CodegenOptions
+    compressedCodegen()
+    {
+        CodegenOptions options;
+        options.unroll = false;
+        return options;
+    }
+
+  private:
+    CimArchitecture arch_;
+    ScheduleOptions options_;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMPILER_COMPILER_H

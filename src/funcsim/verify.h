@@ -1,0 +1,47 @@
+/**
+ * @file
+ * End-to-end functional verification: compile a graph with the
+ * multi-level scheduler, execute the generated meta-operator flow on the
+ * functional simulator, and compare every marked output bit-for-bit
+ * against the reference executor (the paper's PyTorch check).
+ */
+#ifndef CIMMLC_FUNCSIM_VERIFY_H
+#define CIMMLC_FUNCSIM_VERIFY_H
+
+#include <map>
+#include <string>
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/options.h"
+#include "tensor/tensor.h"
+
+namespace cimmlc {
+
+/** Outcome of one verification run. */
+struct VerifyReport {
+    bool match = false;
+    std::int64_t outputs_checked = 0;
+    std::int64_t elements_checked = 0;
+    std::int64_t mismatches = 0;
+    std::string first_mismatch; //!< description of the first divergence
+    std::int64_t flow_ops = 0;  //!< size of the executed flow
+};
+
+/**
+ * Compiles and verifies @p graph on @p arch.
+ *
+ * Weights must be installed; inputs map graph input tensors to values.
+ * The reference run calibrates per-node requantization shifts which the
+ * generated flow then reuses, so both sides compute identical integer
+ * pipelines.
+ */
+StatusOr<VerifyReport>
+verifyCompiledFlow(const Graph &graph, const CimArchitecture &arch,
+                   const ScheduleOptions &options,
+                   const std::map<TensorId, Int8Tensor> &inputs);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_FUNCSIM_VERIFY_H

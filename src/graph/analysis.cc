@@ -1,0 +1,101 @@
+#include "graph/analysis.h"
+
+#include "common/logging.h"
+#include "graph/graph.h"
+
+namespace cimmlc {
+
+std::optional<WeightMatrixShape>
+weightMatrixShape(const Graph &graph, NodeId node_id)
+{
+    const Node &n = graph.node(node_id);
+    if (n.kind == OpKind::kConv2d) {
+        const auto &a = n.conv();
+        const auto &in = graph.tensor(n.inputs[0]).dims;
+        return WeightMatrixShape{in[1] * a.kernel_h * a.kernel_w,
+                                 a.out_channels};
+    }
+    if (n.kind == OpKind::kLinear) {
+        const auto &a = n.linear();
+        const auto &in = graph.tensor(n.inputs[0]).dims;
+        return WeightMatrixShape{in.back(), a.out_features};
+    }
+    return std::nullopt;
+}
+
+std::int64_t
+mvmCount(const Graph &graph, NodeId node_id)
+{
+    const Node &n = graph.node(node_id);
+    if (n.kind == OpKind::kConv2d) {
+        const auto &out = graph.tensor(n.output).dims;
+        return out[0] * out[2] * out[3];
+    }
+    if (n.kind == OpKind::kLinear) {
+        const auto &in = graph.tensor(n.inputs[0]).dims;
+        std::int64_t rows = 1;
+        for (std::size_t i = 0; i + 1 < in.size(); ++i)
+            rows *= in[i];
+        return rows;
+    }
+    return 0;
+}
+
+std::int64_t
+macCount(const Graph &graph, NodeId node_id)
+{
+    const Node &n = graph.node(node_id);
+    if (isCimMappable(n.kind)) {
+        const auto wm = weightMatrixShape(graph, node_id);
+        return mvmCount(graph, node_id) * wm->rows * wm->cols;
+    }
+    if (n.kind == OpKind::kMatMul) {
+        const auto &lhs = graph.tensor(n.inputs[0]).dims;
+        const auto &out = graph.tensor(n.output).dims;
+        std::int64_t batch_rows = 1;
+        for (std::size_t i = 0; i + 1 < lhs.size(); ++i)
+            batch_rows *= lhs[i];
+        return batch_rows * lhs.back() * out.back();
+    }
+    return 0;
+}
+
+std::int64_t
+aluOpCount(const Graph &graph, NodeId node_id)
+{
+    const Node &n = graph.node(node_id);
+    switch (n.kind) {
+      case OpKind::kRelu:
+      case OpKind::kAdd:
+      case OpKind::kConcat:
+      case OpKind::kIdentity:
+        return outputElements(graph, node_id);
+      case OpKind::kGelu:
+      case OpKind::kSoftmax:
+      case OpKind::kLayerNorm:
+        // Transcendental-heavy ops count several ALU ops per element.
+        return 4 * outputElements(graph, node_id);
+      case OpKind::kMaxPool2d:
+      case OpKind::kAvgPool2d: {
+        const auto &a = n.pool();
+        return outputElements(graph, node_id) * a.kernel * a.kernel;
+      }
+      case OpKind::kGlobalAvgPool: {
+        const auto &in = graph.tensor(n.inputs[0]).dims;
+        return in[0] * in[1] * in[2] * in[3];
+      }
+      case OpKind::kMatMul:
+        return 2 * macCount(graph, node_id);
+      default:
+        return 0;
+    }
+}
+
+std::int64_t
+outputElements(const Graph &graph, NodeId node_id)
+{
+    const Node &n = graph.node(node_id);
+    return graph.tensor(n.output).numel();
+}
+
+} // namespace cimmlc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-node analysis queries the scheduler relies on: the weight matrix a
+ * node contributes to the crossbars, its MAC count, and the number of MVM
+ * issues (sliding windows) it performs per inference.
+ */
+#ifndef CIMMLC_GRAPH_ANALYSIS_H
+#define CIMMLC_GRAPH_ANALYSIS_H
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/node.h"
+
+namespace cimmlc {
+
+class Graph;
+
+/**
+ * Dimensions of the weight matrix a CIM-mappable node maps onto crossbars
+ * using the paper's Figure 7 convention: rows = reduction dimension
+ * (C_in * kh * kw for conv, in_features for linear), cols = output
+ * dimension.
+ */
+struct WeightMatrixShape {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+
+    bool operator==(const WeightMatrixShape &) const = default;
+};
+
+/** Weight matrix of @p node, or nullopt for non-CIM operators. */
+std::optional<WeightMatrixShape> weightMatrixShape(const Graph &graph,
+                                                   NodeId node);
+
+/**
+ * Number of matrix-vector products one inference issues through @p node:
+ * N * outH * outW for conv (one per sliding window, Figure 12), the
+ * number of row vectors for linear. Zero for non-CIM operators.
+ */
+std::int64_t mvmCount(const Graph &graph, NodeId node);
+
+/** Multiply-accumulate count of @p node (CIM or dynamic matmul). */
+std::int64_t macCount(const Graph &graph, NodeId node);
+
+/** Elementwise op count for digital (ALU) operators; 0 otherwise. */
+std::int64_t aluOpCount(const Graph &graph, NodeId node);
+
+/** Output activation element count of @p node. */
+std::int64_t outputElements(const Graph &graph, NodeId node);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_GRAPH_ANALYSIS_H

@@ -1,0 +1,456 @@
+#include "graph/models.h"
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace cimmlc::models {
+
+namespace {
+
+/** conv3x3 + relu block used throughout the VGG family. */
+TensorId
+vggBlock(Graph *g, TensorId x, std::int64_t channels, int index)
+{
+    x = g->conv2d(x, channels, 3, 1, 1, strformat("conv%d", index));
+    return g->relu(x, strformat("relu%d", index));
+}
+
+/** Builds a VGG body from a per-stage channel/conv-count spec. */
+Graph
+vggFromSpec(const std::string &name,
+            const std::vector<std::pair<std::int64_t, int>> &stages,
+            std::int64_t image, std::int64_t fc_dim,
+            std::int64_t num_classes)
+{
+    Graph g(name);
+    TensorId x = g.addInput("image", {1, 3, image, image});
+    int conv_index = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const auto [channels, count] = stages[s];
+        for (int i = 0; i < count; ++i)
+            x = vggBlock(&g, x, channels, conv_index++);
+        x = g.maxPool2d(x, 2, 2, 0, strformat("pool%zu", s));
+    }
+    x = g.flatten(x);
+    x = g.linear(x, fc_dim, "fc0");
+    x = g.relu(x);
+    x = g.linear(x, fc_dim, "fc1");
+    x = g.relu(x);
+    x = g.linear(x, num_classes, "fc2");
+    g.markOutput(x);
+    return g;
+}
+
+/** ResNet v1 basic block: two 3x3 convs with identity/projection skip. */
+TensorId
+basicBlock(Graph *g, TensorId x, std::int64_t channels, std::int64_t stride,
+           const std::string &prefix)
+{
+    TensorId identity = x;
+    TensorId y = g->conv2d(x, channels, 3, stride, 1, prefix + "_conv1");
+    y = g->relu(y, prefix + "_relu1");
+    y = g->conv2d(y, channels, 3, 1, 1, prefix + "_conv2");
+    const auto &in_dims = g->tensor(x).dims;
+    if (stride != 1 || in_dims[1] != channels) {
+        identity =
+            g->conv2d(x, channels, 1, stride, 0, prefix + "_downsample");
+    }
+    y = g->add(y, identity, prefix + "_add");
+    return g->relu(y, prefix + "_relu2");
+}
+
+/** ResNet v1 bottleneck block: 1x1 reduce, 3x3, 1x1 expand (x4). */
+TensorId
+bottleneckBlock(Graph *g, TensorId x, std::int64_t channels,
+                std::int64_t stride, const std::string &prefix)
+{
+    const std::int64_t expanded = channels * 4;
+    TensorId identity = x;
+    TensorId y = g->conv2d(x, channels, 1, 1, 0, prefix + "_conv1");
+    y = g->relu(y, prefix + "_relu1");
+    y = g->conv2d(y, channels, 3, stride, 1, prefix + "_conv2");
+    y = g->relu(y, prefix + "_relu2");
+    y = g->conv2d(y, expanded, 1, 1, 0, prefix + "_conv3");
+    const auto &in_dims = g->tensor(x).dims;
+    if (stride != 1 || in_dims[1] != expanded) {
+        identity =
+            g->conv2d(x, expanded, 1, stride, 0, prefix + "_downsample");
+    }
+    y = g->add(y, identity, prefix + "_add");
+    return g->relu(y, prefix + "_relu3");
+}
+
+/** Assembles a full ResNet from per-stage block counts. */
+Graph
+resnetFromSpec(const std::string &name, const std::vector<int> &blocks,
+               bool bottleneck)
+{
+    Graph g(name);
+    TensorId x = g.addInput("image", {1, 3, 224, 224});
+    x = g.conv2d(x, 64, 7, 2, 3, "stem_conv");
+    x = g.relu(x, "stem_relu");
+    x = g.maxPool2d(x, 3, 2, 1, "stem_pool");
+
+    const std::int64_t stage_channels[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+            const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            const std::string prefix =
+                strformat("layer%d_block%d", stage + 1, b);
+            if (bottleneck) {
+                x = bottleneckBlock(&g, x, stage_channels[stage], stride,
+                                    prefix);
+            } else {
+                x = basicBlock(&g, x, stage_channels[stage], stride,
+                               prefix);
+            }
+        }
+    }
+    x = g.globalAvgPool(x, "gap");
+    x = g.flatten(x);
+    x = g.linear(x, 1000, "fc");
+    g.markOutput(x);
+    return g;
+}
+
+/** One pre-norm transformer encoder block. */
+TensorId
+vitBlock(Graph *g, TensorId x, const VitConfig &c, int index)
+{
+    const std::string p = strformat("block%d", index);
+    // Attention: LN -> Q/K/V projections -> scores -> context -> proj.
+    TensorId norm1 = g->layerNorm(x, p + "_ln1");
+    TensorId q = g->linear(norm1, c.dim, p + "_q");
+    TensorId k = g->linear(norm1, c.dim, p + "_k");
+    TensorId v = g->linear(norm1, c.dim, p + "_v");
+    TensorId scores = g->matmul(q, k, c.heads, /*transpose_rhs=*/true,
+                                p + "_qkt");
+    scores = g->softmax(scores, p + "_softmax");
+    TensorId context = g->matmul(scores, v, c.heads, false, p + "_av");
+    TensorId attn = g->linear(context, c.dim, p + "_proj");
+    x = g->add(x, attn, p + "_add1");
+
+    // MLP: LN -> fc1 -> gelu -> fc2.
+    TensorId norm2 = g->layerNorm(x, p + "_ln2");
+    TensorId h = g->linear(norm2, c.mlp_dim, p + "_fc1");
+    h = g->gelu(h, p + "_gelu");
+    h = g->linear(h, c.dim, p + "_fc2");
+    return g->add(x, h, p + "_add2");
+}
+
+} // namespace
+
+Graph
+mlp(const std::vector<std::int64_t> &dims, bool relu_between)
+{
+    CIMMLC_CHECK_GE(dims.size(), 2u) << "mlp needs input and output dims";
+    Graph g("mlp");
+    TensorId x = g.addInput("features", {1, dims[0]});
+    for (std::size_t i = 1; i < dims.size(); ++i) {
+        x = g.linear(x, dims[i], strformat("fc%zu", i - 1));
+        if (relu_between && i + 1 < dims.size())
+            x = g.relu(x, strformat("relu%zu", i - 1));
+    }
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+lenet5()
+{
+    Graph g("lenet5");
+    TensorId x = g.addInput("image", {1, 1, 32, 32});
+    x = g.conv2d(x, 6, 5, 1, 0, "conv1");
+    x = g.relu(x);
+    x = g.maxPool2d(x, 2, 2);
+    x = g.conv2d(x, 16, 5, 1, 0, "conv2");
+    x = g.relu(x);
+    x = g.maxPool2d(x, 2, 2);
+    x = g.flatten(x);
+    x = g.linear(x, 120, "fc1");
+    x = g.relu(x);
+    x = g.linear(x, 84, "fc2");
+    x = g.relu(x);
+    x = g.linear(x, 10, "fc3");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+convReluToy()
+{
+    // The Section 3.4 walkthrough: input (3,32,32), kernel (32,3,3,3),
+    // stride 1, padding 1, followed by ReLU.
+    Graph g("conv_relu_toy");
+    TensorId x = g.addInput("image", {1, 3, 32, 32});
+    x = g.conv2d(x, 32, 3, 1, 1, "conv");
+    x = g.relu(x, "relu");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+vgg7()
+{
+    // CIFAR-scale VGG7: 128C3-128C3-MP-256C3-256C3-MP-512C3-512C3-MP-FC.
+    Graph g("vgg7");
+    TensorId x = g.addInput("image", {1, 3, 32, 32});
+    int conv_index = 0;
+    for (std::int64_t channels : {128, 128}) {
+        x = vggBlock(&g, x, channels, conv_index++);
+    }
+    x = g.maxPool2d(x, 2, 2);
+    for (std::int64_t channels : {256, 256}) {
+        x = vggBlock(&g, x, channels, conv_index++);
+    }
+    x = g.maxPool2d(x, 2, 2);
+    for (std::int64_t channels : {512, 512}) {
+        x = vggBlock(&g, x, channels, conv_index++);
+    }
+    x = g.maxPool2d(x, 2, 2);
+    x = g.flatten(x);
+    x = g.linear(x, 1024, "fc0");
+    x = g.relu(x);
+    x = g.linear(x, 10, "fc1");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+macroCnn()
+{
+    Graph g("macro_cnn");
+    TensorId x = g.addInput("image", {1, 1, 32, 32});
+    x = g.conv2d(x, 8, 3, 1, 1, "conv1");
+    x = g.relu(x);
+    x = g.maxPool2d(x, 2, 2);
+    x = g.conv2d(x, 32, 3, 1, 1, "conv2");
+    x = g.relu(x);
+    x = g.maxPool2d(x, 2, 2);
+    x = g.conv2d(x, 32, 3, 1, 1, "conv3");
+    x = g.relu(x);
+    x = g.globalAvgPool(x, "gap");
+    x = g.flatten(x);
+    x = g.linear(x, 10, "fc");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+vgg11()
+{
+    return vggFromSpec("vgg11",
+                       {{64, 1}, {128, 1}, {256, 2}, {512, 2}, {512, 2}},
+                       224, 4096, 1000);
+}
+
+Graph
+vgg16()
+{
+    return vggFromSpec("vgg16",
+                       {{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}},
+                       224, 4096, 1000);
+}
+
+Graph
+vgg19()
+{
+    return vggFromSpec("vgg19",
+                       {{64, 2}, {128, 2}, {256, 4}, {512, 4}, {512, 4}},
+                       224, 4096, 1000);
+}
+
+namespace {
+
+/** Inception module: 1x1 / 3x3 / 5x5 / pool-proj branches concatenated. */
+TensorId
+inceptionBlock(Graph *g, TensorId x, std::int64_t c1, std::int64_t c3r,
+               std::int64_t c3, std::int64_t c5r, std::int64_t c5,
+               std::int64_t pool_proj, const std::string &prefix)
+{
+    TensorId b1 = g->conv2d(x, c1, 1, 1, 0, prefix + "_1x1");
+    b1 = g->relu(b1);
+    TensorId b3 = g->conv2d(x, c3r, 1, 1, 0, prefix + "_3x3r");
+    b3 = g->relu(b3);
+    b3 = g->conv2d(b3, c3, 3, 1, 1, prefix + "_3x3");
+    b3 = g->relu(b3);
+    TensorId b5 = g->conv2d(x, c5r, 1, 1, 0, prefix + "_5x5r");
+    b5 = g->relu(b5);
+    b5 = g->conv2d(b5, c5, 5, 1, 2, prefix + "_5x5");
+    b5 = g->relu(b5);
+    TensorId bp = g->maxPool2d(x, 3, 1, 1, prefix + "_pool");
+    bp = g->conv2d(bp, pool_proj, 1, 1, 0, prefix + "_proj");
+    bp = g->relu(bp);
+    return g->concat({b1, b3, b5, bp}, prefix + "_concat");
+}
+
+} // namespace
+
+Graph
+googlenet()
+{
+    Graph g("googlenet");
+    TensorId x = g.addInput("image", {1, 3, 224, 224});
+    x = g.conv2d(x, 64, 7, 2, 3, "stem_conv1");
+    x = g.relu(x);
+    x = g.maxPool2d(x, 3, 2, 1, "stem_pool1");
+    x = g.conv2d(x, 64, 1, 1, 0, "stem_conv2r");
+    x = g.relu(x);
+    x = g.conv2d(x, 192, 3, 1, 1, "stem_conv2");
+    x = g.relu(x);
+    x = g.maxPool2d(x, 3, 2, 1, "stem_pool2");
+
+    x = inceptionBlock(&g, x, 64, 96, 128, 16, 32, 32, "i3a");
+    x = inceptionBlock(&g, x, 128, 128, 192, 32, 96, 64, "i3b");
+    x = g.maxPool2d(x, 3, 2, 1, "pool3");
+    x = inceptionBlock(&g, x, 192, 96, 208, 16, 48, 64, "i4a");
+    x = inceptionBlock(&g, x, 160, 112, 224, 24, 64, 64, "i4b");
+    x = inceptionBlock(&g, x, 128, 128, 256, 24, 64, 64, "i4c");
+    x = inceptionBlock(&g, x, 112, 144, 288, 32, 64, 64, "i4d");
+    x = inceptionBlock(&g, x, 256, 160, 320, 32, 128, 128, "i4e");
+    x = g.maxPool2d(x, 3, 2, 1, "pool4");
+    x = inceptionBlock(&g, x, 256, 160, 320, 32, 128, 128, "i5a");
+    x = inceptionBlock(&g, x, 384, 192, 384, 48, 128, 128, "i5b");
+    x = g.globalAvgPool(x, "gap");
+    x = g.flatten(x);
+    x = g.linear(x, 1000, "fc");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+inceptionToy()
+{
+    Graph g("inception_toy");
+    TensorId x = g.addInput("image", {1, 4, 8, 8});
+    x = inceptionBlock(&g, x, 4, 4, 6, 2, 4, 2, "block");
+    x = g.globalAvgPool(x, "gap");
+    x = g.flatten(x);
+    x = g.linear(x, 10, "fc");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+resnet18()
+{
+    return resnetFromSpec("resnet18", {2, 2, 2, 2}, /*bottleneck=*/false);
+}
+
+Graph
+resnet34()
+{
+    return resnetFromSpec("resnet34", {3, 4, 6, 3}, /*bottleneck=*/false);
+}
+
+Graph
+resnet50()
+{
+    return resnetFromSpec("resnet50", {3, 4, 6, 3}, /*bottleneck=*/true);
+}
+
+Graph
+resnet101()
+{
+    return resnetFromSpec("resnet101", {3, 4, 23, 3}, /*bottleneck=*/true);
+}
+
+Graph
+vit(const VitConfig &c)
+{
+    CIMMLC_CHECK_EQ(c.image % c.patch, 0)
+        << "image size must be divisible by patch size";
+    const std::int64_t tokens = (c.image / c.patch) * (c.image / c.patch);
+    Graph g(strformat("vit_d%lld_l%lld",
+                      static_cast<long long>(c.dim),
+                      static_cast<long long>(c.depth)));
+    TensorId x = g.addInput("image", {1, 3, c.image, c.image});
+    // Patch embedding as a strided convolution, then tokens x dim layout.
+    x = g.conv2d(x, c.dim, c.patch, c.patch, 0, "patch_embed");
+    x = g.reshape(x, {tokens, c.dim}, "to_tokens");
+    for (int i = 0; i < c.depth; ++i)
+        x = vitBlock(&g, x, c, i);
+    x = g.layerNorm(x, "final_ln");
+    x = g.linear(x, 1000, "head");
+    g.markOutput(x);
+    return g;
+}
+
+Graph
+vitBase()
+{
+    return vit(VitConfig{});
+}
+
+Graph
+vitSmall()
+{
+    VitConfig c;
+    c.dim = 384;
+    c.heads = 6;
+    c.mlp_dim = 1536;
+    return vit(c);
+}
+
+Graph
+vitTiny()
+{
+    VitConfig c;
+    c.dim = 192;
+    c.heads = 3;
+    c.mlp_dim = 768;
+    return vit(c);
+}
+
+Graph
+byName(const std::string &name)
+{
+    const std::string key = toLower(name);
+    if (key == "mlp")
+        return mlp({784, 256, 128, 10});
+    if (key == "lenet5")
+        return lenet5();
+    if (key == "conv_relu_toy")
+        return convReluToy();
+    if (key == "vgg7")
+        return vgg7();
+    if (key == "macro_cnn")
+        return macroCnn();
+    if (key == "vgg11")
+        return vgg11();
+    if (key == "vgg16")
+        return vgg16();
+    if (key == "vgg19")
+        return vgg19();
+    if (key == "googlenet")
+        return googlenet();
+    if (key == "inception_toy")
+        return inceptionToy();
+    if (key == "resnet18")
+        return resnet18();
+    if (key == "resnet34")
+        return resnet34();
+    if (key == "resnet50")
+        return resnet50();
+    if (key == "resnet101")
+        return resnet101();
+    if (key == "vit_base" || key == "vit")
+        return vitBase();
+    if (key == "vit_small")
+        return vitSmall();
+    if (key == "vit_tiny")
+        return vitTiny();
+    fatal("unknown model '" + name + "'");
+}
+
+std::vector<std::string>
+availableModels()
+{
+    return {"mlp",       "lenet5",    "conv_relu_toy", "macro_cnn",
+            "inception_toy", "vgg7",  "vgg11",         "vgg16",
+            "vgg19",     "googlenet", "resnet18",      "resnet34",
+            "resnet50",  "resnet101", "vit_tiny",      "vit_small",
+            "vit_base"};
+}
+
+} // namespace cimmlc::models

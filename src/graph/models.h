@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Model zoo: the networks the paper evaluates (VGG series, ResNet series,
+ * ViT — Section 4.1) plus small nets used for functional verification.
+ *
+ * All builders use batch size 1 and 8-bit-quantized shapes. ImageNet models
+ * take 3x224x224 inputs; the CIFAR-scale VGG7 takes 3x32x32, matching the
+ * resource-constrained Jain et al. macro experiment (Figure 20(c)).
+ */
+#ifndef CIMMLC_GRAPH_MODELS_H
+#define CIMMLC_GRAPH_MODELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cimmlc::models {
+
+/** Fully-connected net: dims[0] inputs through hidden layers to dims.back(). */
+Graph mlp(const std::vector<std::int64_t> &dims, bool relu_between = true);
+
+/** LeNet-5 style CNN on 1x32x32 input (functional-verification scale). */
+Graph lenet5();
+
+/** Two-conv toy used by the paper's Section 3.4 walkthrough. */
+Graph convReluToy();
+
+/** VGG7: CIFAR-scale 6-conv + 1-fc network (Jain et al. benchmark). */
+Graph vgg7();
+
+/**
+ * VGG7-style CNN sized for single-macro deployment (~6K weights): the
+ * Jain et al. comparison (Figure 20(c)) runs "under the same resource
+ * constraints" as their 4-core macro, whose 16K-weight capacity is
+ * ~300x too small for full VGG7 — see EXPERIMENTS.md.
+ */
+Graph macroCnn();
+
+/** VGG-A (11 layers) on ImageNet. */
+Graph vgg11();
+
+/** VGG-D (16 layers) on ImageNet — the PUMA / Poly-Schedule benchmark. */
+Graph vgg16();
+
+/** VGG-E (19 layers) on ImageNet. */
+Graph vgg19();
+
+/** GoogLeNet/Inception-v1 on ImageNet (branching DAG + concat). */
+Graph googlenet();
+
+/** One inception block at toy scale (functional-verification size). */
+Graph inceptionToy();
+
+/** ResNet v1 models on ImageNet (Figure 21 benchmarks). */
+Graph resnet18();
+Graph resnet34();
+Graph resnet50();
+Graph resnet101();
+
+/** ViT configuration knobs. */
+struct VitConfig {
+    std::int64_t image = 224;
+    std::int64_t patch = 16;
+    std::int64_t dim = 768;
+    std::int64_t depth = 12;
+    std::int64_t heads = 12;
+    std::int64_t mlp_dim = 3072;
+};
+
+/** Vision transformer (Figure 22 sensitivity benchmark). */
+Graph vit(const VitConfig &config);
+Graph vitBase();  //!< ViT-B/16
+Graph vitSmall(); //!< dim 384, 6 heads
+Graph vitTiny();  //!< dim 192, 3 heads
+
+/** Builds a model by canonical name ("resnet18", "vgg16", ...). */
+Graph byName(const std::string &name);
+
+/** Names accepted by byName, in a stable order. */
+std::vector<std::string> availableModels();
+
+} // namespace cimmlc::models
+
+#endif // CIMMLC_GRAPH_MODELS_H

@@ -1,0 +1,221 @@
+#include "graph/reference.h"
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "tensor/ops.h"
+
+namespace cimmlc {
+
+namespace {
+
+/** Fixed dequantization scale for float digital ops (gelu/softmax/ln). */
+constexpr float kFloatScale = 1.0f / 16.0f;
+
+TensorShape
+shapeOf(const ValueInfo &info)
+{
+    return TensorShape(info.dims);
+}
+
+/** Applies the calibrated-or-fixed requant policy for one node. */
+Int8Tensor
+requantNode(const Int32Tensor &acc, NodeId node,
+            const std::map<NodeId, RequantParams> &fixed,
+            std::map<NodeId, RequantParams> *out_shifts)
+{
+    RequantParams params;
+    auto it = fixed.find(node);
+    if (it != fixed.end()) {
+        params = it->second;
+    } else {
+        params = chooseRequantShift(acc);
+    }
+    (*out_shifts)[node] = params;
+    return requantize(acc, params);
+}
+
+/** Runs a float elementwise/reduction op through the shared ALU kernels. */
+Int8Tensor
+runFloatOp(OpKind kind, const Int8Tensor &input)
+{
+    FloatTensor f = dequantize(input, kFloatScale);
+    switch (kind) {
+      case OpKind::kGelu:
+        f = ops::gelu(f);
+        break;
+      case OpKind::kSoftmax:
+        f = ops::softmax(f);
+        break;
+      case OpKind::kLayerNorm:
+        f = ops::layerNorm(f);
+        break;
+      default:
+        panic("runFloatOp on non-float op");
+    }
+    return quantizeFloat(f, kFloatScale);
+}
+
+} // namespace
+
+const Int8Tensor &
+ReferenceResult::output(const Graph &graph) const
+{
+    CIMMLC_CHECK(!graph.outputs().empty());
+    auto it = tensors.find(graph.outputs()[0]);
+    CIMMLC_CHECK(it != tensors.end()) << "output tensor was not computed";
+    return it->second;
+}
+
+StatusOr<ReferenceResult>
+runReference(const Graph &graph,
+             const std::map<TensorId, Int8Tensor> &inputs,
+             const std::map<NodeId, RequantParams> &fixed_shifts)
+{
+    CIMMLC_RETURN_IF_ERROR(graph.validate());
+
+    ReferenceResult result;
+    auto &values = result.tensors;
+
+    for (TensorId in : graph.inputs()) {
+        auto it = inputs.find(in);
+        if (it == inputs.end()) {
+            return invalidArgument(strformat(
+                "missing input tensor %d (%s)", in,
+                graph.tensor(in).name.c_str()));
+        }
+        if (it->second.shape() != shapeOf(graph.tensor(in))) {
+            return invalidArgument(strformat(
+                "input %d shape mismatch: got %s want %s", in,
+                it->second.shape().toString().c_str(),
+                shapeOf(graph.tensor(in)).toString().c_str()));
+        }
+        values.emplace(in, it->second);
+    }
+
+    for (NodeId id : graph.topoOrder()) {
+        const Node &n = graph.node(id);
+        if (n.kind == OpKind::kInput)
+            continue;
+        auto in = [&](std::size_t i) -> const Int8Tensor & {
+            auto it = values.find(n.inputs[i]);
+            CIMMLC_CHECK(it != values.end())
+                << "tensor " << n.inputs[i] << " not yet computed";
+            return it->second;
+        };
+
+        Int8Tensor out;
+        switch (n.kind) {
+          case OpKind::kConv2d: {
+            if (!graph.hasWeight(id)) {
+                return failedPrecondition(
+                    "node '" + n.name + "' has no weights installed");
+            }
+            const auto &a = n.conv();
+            Int32Tensor acc =
+                ops::conv2d(in(0), graph.weight(id), a.stride, a.padding);
+            out = requantNode(acc, id, fixed_shifts, &result.shifts);
+            break;
+          }
+          case OpKind::kLinear: {
+            if (!graph.hasWeight(id)) {
+                return failedPrecondition(
+                    "node '" + n.name + "' has no weights installed");
+            }
+            // Flatten leading dims into rows for >2-d inputs.
+            const Int8Tensor &x = in(0);
+            const std::int64_t cols = x.shape().dim(x.shape().rank() - 1);
+            const std::int64_t rows = x.numel() / cols;
+            Int8Tensor x2(TensorShape({rows, cols}), x.data());
+            Int32Tensor acc = ops::linear(x2, graph.weight(id));
+            Int8Tensor q =
+                requantNode(acc, id, fixed_shifts, &result.shifts);
+            out = Int8Tensor(shapeOf(graph.tensor(n.output)),
+                             std::move(q.data()));
+            break;
+          }
+          case OpKind::kMatMul: {
+            const auto &a = n.matmul();
+            const Int8Tensor &lhs = in(0);
+            const Int8Tensor &rhs = in(1);
+            const std::int64_t l_cols =
+                lhs.shape().dim(lhs.shape().rank() - 1);
+            const std::int64_t l_rows = lhs.numel() / l_cols;
+            Int8Tensor lhs2(TensorShape({l_rows, l_cols}), lhs.data());
+            const std::int64_t r_cols =
+                rhs.shape().dim(rhs.shape().rank() - 1);
+            const std::int64_t r_rows = rhs.numel() / r_cols;
+            Int8Tensor rhs2(TensorShape({r_rows, r_cols}), rhs.data());
+            Int32Tensor acc;
+            if (a.transpose_rhs) {
+                acc = ops::linear(lhs2, rhs2); // lhs x rhs^T
+            } else {
+                acc = ops::matmul(lhs2, rhs2);
+            }
+            Int8Tensor q =
+                requantNode(acc, id, fixed_shifts, &result.shifts);
+            out = Int8Tensor(shapeOf(graph.tensor(n.output)),
+                             std::move(q.data()));
+            break;
+          }
+          case OpKind::kRelu:
+            out = ops::relu(in(0));
+            break;
+          case OpKind::kGelu:
+          case OpKind::kSoftmax:
+          case OpKind::kLayerNorm:
+            out = runFloatOp(n.kind, in(0));
+            break;
+          case OpKind::kMaxPool2d: {
+            const auto &a = n.pool();
+            out = ops::maxPool2d(in(0), a.kernel, a.stride, a.padding);
+            break;
+          }
+          case OpKind::kAvgPool2d: {
+            const auto &a = n.pool();
+            out = ops::avgPool2d(in(0), a.kernel, a.stride, a.padding);
+            break;
+          }
+          case OpKind::kGlobalAvgPool:
+            out = ops::globalAvgPool(in(0));
+            break;
+          case OpKind::kAdd:
+            out = ops::addSaturating(in(0), in(1));
+            break;
+          case OpKind::kConcat: {
+            // Channel-wise concat over NCHW.
+            const TensorShape out_shape = shapeOf(graph.tensor(n.output));
+            Int8Tensor cat(out_shape);
+            std::int64_t channel_base = 0;
+            for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+                const Int8Tensor &piece = in(i);
+                const std::int64_t C = piece.shape().dim(1);
+                const std::int64_t HW =
+                    piece.shape().dim(2) * piece.shape().dim(3);
+                for (std::int64_t c = 0; c < C; ++c) {
+                    for (std::int64_t j = 0; j < HW; ++j) {
+                        cat[(channel_base + c) * HW + j] =
+                            piece[c * HW + j];
+                    }
+                }
+                channel_base += C;
+            }
+            out = std::move(cat);
+            break;
+          }
+          case OpKind::kFlatten:
+          case OpKind::kReshape:
+          case OpKind::kIdentity: {
+            const Int8Tensor &x = in(0);
+            out = Int8Tensor(shapeOf(graph.tensor(n.output)), x.data());
+            break;
+          }
+          case OpKind::kInput:
+            break;
+        }
+        values.emplace(n.output, std::move(out));
+    }
+
+    return result;
+}
+
+} // namespace cimmlc

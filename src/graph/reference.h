@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reference (oracle) executor for computation graphs.
+ *
+ * Plays the role of the PyTorch check in the paper's functional
+ * verification (Section 4.1): it executes the graph directly with exact
+ * int32 accumulation and produces both the activations and the per-node
+ * requantization shifts. The functional simulator replays the compiled
+ * meta-operator flow with the same shifts and must match bit-for-bit.
+ */
+#ifndef CIMMLC_GRAPH_REFERENCE_H
+#define CIMMLC_GRAPH_REFERENCE_H
+
+#include <map>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+
+namespace cimmlc {
+
+/** Activations and calibration data produced by a reference run. */
+struct ReferenceResult {
+    //! value of every tensor after execution
+    std::map<TensorId, Int8Tensor> tensors;
+    //! calibrated requantization shift per accumulating node
+    std::map<NodeId, RequantParams> shifts;
+
+    /** Value of the graph's first marked output. */
+    const Int8Tensor &output(const Graph &graph) const;
+};
+
+/**
+ * Executes @p graph over @p inputs.
+ *
+ * When @p fixed_shifts is empty, requantization shifts are calibrated
+ * per node (smallest shift that avoids int8 overflow) and reported in
+ * the result; otherwise the provided shifts are used, enabling an
+ * apples-to-apples comparison with a simulator run.
+ *
+ * @pre every CIM-mappable node has weights installed.
+ */
+StatusOr<ReferenceResult>
+runReference(const Graph &graph,
+             const std::map<TensorId, Int8Tensor> &inputs,
+             const std::map<NodeId, RequantParams> &fixed_shifts = {});
+
+} // namespace cimmlc
+
+#endif // CIMMLC_GRAPH_REFERENCE_H

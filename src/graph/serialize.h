@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text serialization of computation graphs in the kvjson format — the
+ * interchange role ONNX plays for the paper's compiler. The CLI driver
+ * and examples can load models from disk instead of the built-in zoo.
+ *
+ * Format sketch:
+ * @code
+ * {
+ *   "name": "toy",
+ *   "inputs": [{"name": "image", "dims": [1, 3, 32, 32]}],
+ *   "nodes": [
+ *     {"op": "conv2d", "name": "conv", "inputs": ["image"],
+ *      "out_channels": 32, "kernel": 3, "stride": 1, "padding": 1},
+ *     {"op": "relu", "inputs": ["conv"]}
+ *   ],
+ *   "outputs": ["relu"]
+ * }
+ * @endcode
+ * Node inputs reference the *name* of the producing node (or graph
+ * input); each node's output tensor takes its node's name.
+ */
+#ifndef CIMMLC_GRAPH_SERIALIZE_H
+#define CIMMLC_GRAPH_SERIALIZE_H
+
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cimmlc {
+
+/** Builds a graph from a parsed kvjson document. */
+StatusOr<Graph> graphFromConfig(const ConfigValue &doc);
+
+/** Parses a graph from kvjson text. */
+StatusOr<Graph> graphFromText(const std::string &text);
+
+/** Loads a graph from a kvjson file. */
+StatusOr<Graph> graphFromFile(const std::string &path);
+
+/** Serializes a graph (topology only; weights are not part of the
+ * interchange format). */
+ConfigValue graphToConfig(const Graph &graph);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_GRAPH_SERIALIZE_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The CIM meta-operator set (Section 3.3, Figures 10/11/13/15).
+ *
+ * Three CIM families — MOP_CM (cim.readcore), MOP_XBM (cim.readxb /
+ * cim.writexb), MOP_WLM (cim.readrow / cim.writerow) — plus DCOM (digital
+ * compute on the tier ALUs) and DMOV (data movement). Statements compose
+ * sequentially, inside `parallel { }` blocks, or inside `repeat N { }`
+ * blocks (our compression of the paper's "256 similar code segments",
+ * Section 3.4).
+ *
+ * Executable extension: the paper's surface syntax leaves the
+ * input/output binding of CIM reads implicit; every op here carries
+ * explicit src/dst buffer operands so the functional simulator can replay
+ * a flow bit-exactly (see DESIGN.md "Key design decisions").
+ */
+#ifndef CIMMLC_MOP_METAOP_H
+#define CIMMLC_MOP_METAOP_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/node.h"
+#include "tensor/tensor.h"
+
+namespace cimmlc {
+
+/** Meta-operator opcodes. */
+enum class MetaOpKind {
+    kReadCore,  //!< MOP_CM: run one DNN operator on a core
+    kWriteCore, //!< MOP_CM extension: install operator weights on a core
+    kReadXb,    //!< MOP_XBM: activate crossbar(s) for an MVM
+    kWriteXb,   //!< MOP_XBM: program a weight matrix into a crossbar
+    kReadRow,   //!< MOP_WLM: activate a row group of a crossbar
+    kWriteRow,  //!< MOP_WLM: program specific rows of a crossbar
+    kDcom,      //!< digital compute (relu, add, pool, requant, ...)
+    kMov,       //!< data movement between/within buffers
+};
+
+const char *metaOpKindName(MetaOpKind kind);
+
+/** True for MOP_* CIM ops (not DCOM/DMOV). */
+bool isCimMetaOp(MetaOpKind kind);
+
+/** Buffer spaces addressable by meta-operators. */
+enum class MemSpace {
+    kL0, //!< chip-tier global buffer
+    kL1, //!< core-tier local buffer (core field selects which)
+};
+
+/** An element-addressed buffer location. */
+struct BufAddr {
+    MemSpace space = MemSpace::kL0;
+    std::int64_t core = 0;   //!< owning core for L1
+    std::int64_t offset = 0; //!< element offset
+
+    bool operator==(const BufAddr &) const = default;
+};
+
+/** Renders like "L0[4096]" or "L1c3[128]". */
+std::string bufAddrToString(const BufAddr &addr);
+
+/** Operator geometry carried by kReadCore / kWriteCore. */
+struct CoreOpParams {
+    bool is_conv = true;
+    // conv view
+    std::int64_t in_channels = 0;
+    std::int64_t in_h = 0;
+    std::int64_t in_w = 0;
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 1;
+    std::int64_t stride = 1;
+    std::int64_t padding = 0;
+    // linear view
+    std::int64_t in_features = 0;
+    std::int64_t out_features = 0;
+    // Window range this invocation computes (operator duplication splits
+    // the window space across replicas): conv output rows [begin, end),
+    // or input rows for linear. 0/0 means "all windows".
+    std::int64_t win_begin = 0;
+    std::int64_t win_end = 0;
+
+    bool operator==(const CoreOpParams &) const = default;
+};
+
+/** Geometry for windowed / scaling DCOM functions. */
+struct DcomParams {
+    std::int64_t channels = 0;
+    std::int64_t in_h = 0;
+    std::int64_t in_w = 0;
+    std::int64_t kernel = 1;
+    std::int64_t stride = 1;
+    std::int64_t padding = 0;
+    int shift = 0; //!< requantization right-shift
+
+    bool operator==(const DcomParams &) const = default;
+};
+
+/**
+ * One meta-operator instance. Field usage by kind:
+ *
+ *  kReadCore:  core, core_params, src (L0 in), dst (L0 out, int32 acc)
+ *  kWriteCore: core, core_params, payload (weights)
+ *  kReadXb:    core, xb, len (#crossbars), rows (input length),
+ *              cols (outputs produced), src (L1 in), dst (L1 acc)
+ *  kWriteXb:   core, xb, payload ([rows x logical-cols] weights)
+ *  kReadRow:   core, xb, row, len (#rows), cols, src, dst
+ *  kWriteRow:  core, xb, row, len, payload
+ *  kDcom:      func, src, src2 (binary funcs), dst, len, dcom_params
+ *  kMov:       src, dst, len, count/src_stride/dst_stride (strided block)
+ */
+struct MetaOp {
+    MetaOpKind kind = MetaOpKind::kMov;
+
+    std::int64_t core = 0;
+    std::int64_t xb = 0;
+    std::int64_t row = 0;
+    std::int64_t len = 1;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+
+    BufAddr src;
+    BufAddr src2;
+    BufAddr dst;
+
+    std::string func; //!< DCOM function name ("relu", "add", ...)
+    CoreOpParams core_params;
+    DcomParams dcom_params;
+
+    // Strided block-copy extension for kMov: copies `count` blocks of
+    // `len` elements, advancing src/dst by the strides between blocks.
+    std::int64_t count = 1;
+    std::int64_t src_stride = 0;
+    std::int64_t dst_stride = 0;
+
+    //! weight payload for write ops (shared: flows can be large)
+    std::shared_ptr<const Int8Tensor> payload;
+
+    //! graph node this op was generated from (traceability)
+    NodeId origin = kInvalidNode;
+
+    /** One-line rendering in the Figure 16 surface syntax. */
+    std::string toString() const;
+};
+
+/** DCOM function names understood by the simulator and validator. */
+namespace dcomfunc {
+inline constexpr const char *kZero = "zero";
+inline constexpr const char *kRelu = "relu";
+inline constexpr const char *kAdd = "add";
+inline constexpr const char *kRequant = "requant";
+inline constexpr const char *kMaxPool = "maxpool";
+inline constexpr const char *kAvgPool = "avgpool";
+inline constexpr const char *kGlobalAvgPool = "gap";
+inline constexpr const char *kSoftmax = "softmax";
+inline constexpr const char *kLayerNorm = "layernorm";
+inline constexpr const char *kGelu = "gelu";
+inline constexpr const char *kMatMul = "matmul";
+} // namespace dcomfunc
+
+} // namespace cimmlc
+
+#endif // CIMMLC_MOP_METAOP_H

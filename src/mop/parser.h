@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Parser for the printed meta-operator syntax, enabling round-trip tests
+ * and flow inspection from text. Weight payload *data* is not part of the
+ * surface syntax (the printer shows only shapes), so parsed write ops
+ * carry null payloads with the shape recorded in rows/cols.
+ */
+#ifndef CIMMLC_MOP_PARSER_H
+#define CIMMLC_MOP_PARSER_H
+
+#include <string>
+
+#include "common/status.h"
+#include "mop/program.h"
+
+namespace cimmlc {
+
+/** Parses a full program (init/compute sections, nested blocks). */
+StatusOr<MopProgram> parseProgram(const std::string &text);
+
+/** Parses a single op line like "mov(src=L0[0], dst=L1c0[0], len=27)". */
+StatusOr<MetaOp> parseOpLine(const std::string &line);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_MOP_PARSER_H

@@ -1,0 +1,78 @@
+#include "mop/printer.h"
+
+#include <sstream>
+
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+namespace {
+
+void
+printStmt(const Stmt &stmt, int indent, std::ostringstream *out,
+          std::int64_t *budget)
+{
+    if (*budget == 0)
+        return;
+    const std::string pad(static_cast<std::size_t>(indent) * 4, ' ');
+    switch (stmt.kind) {
+      case Stmt::Kind::kOp:
+        *out << pad << stmt.op.toString() << "\n";
+        if (*budget > 0)
+            --*budget;
+        break;
+      case Stmt::Kind::kParallel:
+        *out << pad << "parallel {\n";
+        if (*budget > 0)
+            --*budget;
+        for (const Stmt &child : stmt.body)
+            printStmt(child, indent + 1, out, budget);
+        *out << pad << "}\n";
+        break;
+      case Stmt::Kind::kRepeat:
+        *out << pad << "repeat " << stmt.repeat << " {\n";
+        if (*budget > 0)
+            --*budget;
+        for (const Stmt &child : stmt.body)
+            printStmt(child, indent + 1, out, budget);
+        *out << pad << "}\n";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+printStatements(const std::vector<Stmt> &stmts, int indent,
+                std::int64_t max_statements)
+{
+    std::ostringstream out;
+    std::int64_t budget = max_statements == 0 ? -1 : max_statements;
+    for (const Stmt &stmt : stmts) {
+        if (budget == 0) {
+            out << std::string(static_cast<std::size_t>(indent) * 4, ' ')
+                << "... (truncated)\n";
+            break;
+        }
+        printStmt(stmt, indent, &out, &budget);
+    }
+    return out.str();
+}
+
+std::string
+printProgram(const MopProgram &program, const PrintOptions &options)
+{
+    std::ostringstream out;
+    if (options.header)
+        out << "// " << program.summary() << "\n";
+    if (!program.init().empty()) {
+        out << "init:\n";
+        out << printStatements(program.init(), 1,
+                               options.max_statements);
+    }
+    out << "compute:\n";
+    out << printStatements(program.compute(), 1, options.max_statements);
+    return out.str();
+}
+
+} // namespace cimmlc

@@ -1,0 +1,273 @@
+#include "mop/program.h"
+
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+const char *
+metaOpKindName(MetaOpKind kind)
+{
+    switch (kind) {
+      case MetaOpKind::kReadCore: return "cim.readcore";
+      case MetaOpKind::kWriteCore: return "cim.writecore";
+      case MetaOpKind::kReadXb: return "cim.readxb";
+      case MetaOpKind::kWriteXb: return "cim.writexb";
+      case MetaOpKind::kReadRow: return "cim.readrow";
+      case MetaOpKind::kWriteRow: return "cim.writerow";
+      case MetaOpKind::kDcom: return "dcom";
+      case MetaOpKind::kMov: return "mov";
+    }
+    return "?";
+}
+
+bool
+isCimMetaOp(MetaOpKind kind)
+{
+    switch (kind) {
+      case MetaOpKind::kReadCore:
+      case MetaOpKind::kWriteCore:
+      case MetaOpKind::kReadXb:
+      case MetaOpKind::kWriteXb:
+      case MetaOpKind::kReadRow:
+      case MetaOpKind::kWriteRow:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+bufAddrToString(const BufAddr &addr)
+{
+    if (addr.space == MemSpace::kL0)
+        return strformat("L0[%lld]", static_cast<long long>(addr.offset));
+    return strformat("L1c%lld[%lld]", static_cast<long long>(addr.core),
+                     static_cast<long long>(addr.offset));
+}
+
+namespace {
+
+std::string
+coreParamsToString(const CoreOpParams &p)
+{
+    std::string win;
+    if (p.win_begin != 0 || p.win_end != 0) {
+        win = strformat(", wb=%lld, we=%lld",
+                        static_cast<long long>(p.win_begin),
+                        static_cast<long long>(p.win_end));
+    }
+    if (p.is_conv) {
+        return strformat(
+            "conv, cin=%lld, h=%lld, w=%lld, cout=%lld, k=%lld, s=%lld, "
+            "p=%lld%s",
+            static_cast<long long>(p.in_channels),
+            static_cast<long long>(p.in_h),
+            static_cast<long long>(p.in_w),
+            static_cast<long long>(p.out_channels),
+            static_cast<long long>(p.kernel),
+            static_cast<long long>(p.stride),
+            static_cast<long long>(p.padding), win.c_str());
+    }
+    return strformat("linear, fin=%lld, fout=%lld%s",
+                     static_cast<long long>(p.in_features),
+                     static_cast<long long>(p.out_features), win.c_str());
+}
+
+std::string
+payloadShapeToString(const std::shared_ptr<const Int8Tensor> &payload)
+{
+    return payload ? payload->shape().toString() : "[]";
+}
+
+} // namespace
+
+std::string
+MetaOp::toString() const
+{
+    switch (kind) {
+      case MetaOpKind::kReadCore:
+        return strformat(
+            "cim.readcore(%s, coreaddr=%lld, src=%s, dst=%s)",
+            coreParamsToString(core_params).c_str(),
+            static_cast<long long>(core), bufAddrToString(src).c_str(),
+            bufAddrToString(dst).c_str());
+      case MetaOpKind::kWriteCore:
+        return strformat("cim.writecore(%s, coreaddr=%lld, weights=%s)",
+                         coreParamsToString(core_params).c_str(),
+                         static_cast<long long>(core),
+                         payloadShapeToString(payload).c_str());
+      case MetaOpKind::kReadXb:
+        return strformat(
+            "cim.readxb(xbaddr=c%lld.x%lld, len=%lld, rows=%lld, "
+            "cols=%lld, src=%s, dst=%s)",
+            static_cast<long long>(core), static_cast<long long>(xb),
+            static_cast<long long>(len), static_cast<long long>(rows),
+            static_cast<long long>(cols), bufAddrToString(src).c_str(),
+            bufAddrToString(dst).c_str());
+      case MetaOpKind::kWriteXb:
+        return strformat("cim.writexb(xbaddr=c%lld.x%lld, mat=%s)",
+                         static_cast<long long>(core),
+                         static_cast<long long>(xb),
+                         payloadShapeToString(payload).c_str());
+      case MetaOpKind::kReadRow:
+        return strformat(
+            "cim.readrow(rowaddr=c%lld.x%lld.r%lld, len=%lld, cols=%lld, "
+            "src=%s, dst=%s)",
+            static_cast<long long>(core), static_cast<long long>(xb),
+            static_cast<long long>(row), static_cast<long long>(len),
+            static_cast<long long>(cols), bufAddrToString(src).c_str(),
+            bufAddrToString(dst).c_str());
+      case MetaOpKind::kWriteRow:
+        return strformat(
+            "cim.writerow(rowaddr=c%lld.x%lld.r%lld, len=%lld, value=%s)",
+            static_cast<long long>(core), static_cast<long long>(xb),
+            static_cast<long long>(row), static_cast<long long>(len),
+            payloadShapeToString(payload).c_str());
+      case MetaOpKind::kDcom: {
+        std::string extras;
+        if (func == dcomfunc::kRequant) {
+            extras = strformat(", shift=%d", dcom_params.shift);
+        } else if (func == dcomfunc::kMaxPool ||
+                   func == dcomfunc::kAvgPool ||
+                   func == dcomfunc::kGlobalAvgPool) {
+            extras = strformat(
+                ", k=%lld, s=%lld, p=%lld, c=%lld, h=%lld, w=%lld",
+                static_cast<long long>(dcom_params.kernel),
+                static_cast<long long>(dcom_params.stride),
+                static_cast<long long>(dcom_params.padding),
+                static_cast<long long>(dcom_params.channels),
+                static_cast<long long>(dcom_params.in_h),
+                static_cast<long long>(dcom_params.in_w));
+        } else if (func == dcomfunc::kSoftmax ||
+                   func == dcomfunc::kLayerNorm) {
+            extras = strformat(", w=%lld",
+                               static_cast<long long>(dcom_params.in_w));
+        }
+        if (func == dcomfunc::kAdd || func == dcomfunc::kMatMul) {
+            return strformat("%s(src1=%s, src2=%s, dst=%s, len=%lld%s)",
+                             func.c_str(), bufAddrToString(src).c_str(),
+                             bufAddrToString(src2).c_str(),
+                             bufAddrToString(dst).c_str(),
+                             static_cast<long long>(len), extras.c_str());
+        }
+        return strformat("%s(src=%s, dst=%s, len=%lld%s)", func.c_str(),
+                         bufAddrToString(src).c_str(),
+                         bufAddrToString(dst).c_str(),
+                         static_cast<long long>(len), extras.c_str());
+      }
+      case MetaOpKind::kMov:
+        if (count > 1) {
+            return strformat(
+                "mov(src=%s, dst=%s, len=%lld, count=%lld, sstride=%lld, "
+                "dstride=%lld)",
+                bufAddrToString(src).c_str(),
+                bufAddrToString(dst).c_str(), static_cast<long long>(len),
+                static_cast<long long>(count),
+                static_cast<long long>(src_stride),
+                static_cast<long long>(dst_stride));
+        }
+        return strformat("mov(src=%s, dst=%s, len=%lld)",
+                         bufAddrToString(src).c_str(),
+                         bufAddrToString(dst).c_str(),
+                         static_cast<long long>(len));
+    }
+    return "?";
+}
+
+namespace {
+
+void
+countStmt(const Stmt &stmt, std::int64_t multiplier, MopCounts *counts)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::kOp: {
+        const MetaOp &op = stmt.op;
+        switch (op.kind) {
+          case MetaOpKind::kReadCore:
+          case MetaOpKind::kReadXb:
+          case MetaOpKind::kReadRow:
+            counts->cim_reads += multiplier;
+            break;
+          case MetaOpKind::kWriteCore:
+          case MetaOpKind::kWriteXb:
+          case MetaOpKind::kWriteRow:
+            counts->cim_writes += multiplier;
+            break;
+          case MetaOpKind::kDcom:
+            counts->dcom += multiplier;
+            break;
+          case MetaOpKind::kMov:
+            counts->mov += multiplier;
+            break;
+        }
+        break;
+      }
+      case Stmt::Kind::kParallel:
+        counts->parallel_blocks += multiplier;
+        for (const Stmt &child : stmt.body)
+            countStmt(child, multiplier, counts);
+        break;
+      case Stmt::Kind::kRepeat:
+        for (const Stmt &child : stmt.body)
+            countStmt(child, multiplier * stmt.repeat, counts);
+        break;
+    }
+}
+
+void
+visitStmt(const Stmt &stmt, const std::function<void(const MetaOp &)> &fn)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::kOp:
+        fn(stmt.op);
+        break;
+      case Stmt::Kind::kParallel:
+        for (const Stmt &child : stmt.body)
+            visitStmt(child, fn);
+        break;
+      case Stmt::Kind::kRepeat:
+        for (std::int64_t i = 0; i < stmt.repeat; ++i) {
+            for (const Stmt &child : stmt.body)
+                visitStmt(child, fn);
+        }
+        break;
+    }
+}
+
+} // namespace
+
+MopCounts
+MopProgram::counts() const
+{
+    MopCounts out;
+    for (const Stmt &stmt : init_)
+        countStmt(stmt, 1, &out);
+    for (const Stmt &stmt : compute_)
+        countStmt(stmt, 1, &out);
+    return out;
+}
+
+void
+MopProgram::forEachOp(const std::function<void(const MetaOp &)> &fn) const
+{
+    for (const Stmt &stmt : init_)
+        visitStmt(stmt, fn);
+    for (const Stmt &stmt : compute_)
+        visitStmt(stmt, fn);
+}
+
+std::string
+MopProgram::summary() const
+{
+    const MopCounts c = counts();
+    return strformat(
+        "%s [%s]: %lld ops (%lld cim-read, %lld cim-write, %lld dcom, "
+        "%lld mov), %lld parallel blocks",
+        name_.c_str(), mode_.c_str(), static_cast<long long>(c.total()),
+        static_cast<long long>(c.cim_reads),
+        static_cast<long long>(c.cim_writes),
+        static_cast<long long>(c.dcom), static_cast<long long>(c.mov),
+        static_cast<long long>(c.parallel_blocks));
+}
+
+} // namespace cimmlc

@@ -1,0 +1,286 @@
+#include "mop/validator.h"
+
+#include <set>
+#include <string>
+
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+namespace {
+
+/** Per-mode op legality: which CIM meta-ops each interface exposes. */
+bool
+opAllowedInMode(MetaOpKind kind, ComputeMode mode)
+{
+    switch (kind) {
+      case MetaOpKind::kReadCore:
+      case MetaOpKind::kWriteCore:
+        // Core-granularity ops exist on every interface.
+        return true;
+      case MetaOpKind::kReadXb:
+      case MetaOpKind::kWriteXb:
+        return mode == ComputeMode::kXBM || mode == ComputeMode::kWLM;
+      case MetaOpKind::kReadRow:
+      case MetaOpKind::kWriteRow:
+        return mode == ComputeMode::kWLM;
+      case MetaOpKind::kDcom:
+      case MetaOpKind::kMov:
+        return true;
+    }
+    return false;
+}
+
+bool
+knownDcomFunc(const std::string &func)
+{
+    static const std::set<std::string> known = {
+        dcomfunc::kZero,    dcomfunc::kRelu,
+        dcomfunc::kAdd,     dcomfunc::kRequant,
+        dcomfunc::kMaxPool, dcomfunc::kAvgPool,   dcomfunc::kGlobalAvgPool,
+        dcomfunc::kSoftmax, dcomfunc::kLayerNorm, dcomfunc::kGelu,
+        dcomfunc::kMatMul,
+    };
+    return known.count(func) > 0;
+}
+
+class Validator
+{
+  public:
+    Validator(const CimArchitecture &arch, const ValidateOptions &options)
+        : arch_(arch), options_(options)
+    {
+    }
+
+    Status
+    run(const MopProgram &program)
+    {
+        CIMMLC_RETURN_IF_ERROR(section(program.init(), /*in_init=*/true,
+                                       /*in_parallel=*/false));
+        CIMMLC_RETURN_IF_ERROR(section(program.compute(), false, false));
+        return Status::ok();
+    }
+
+  private:
+    Status
+    section(const std::vector<Stmt> &stmts, bool in_init, bool in_parallel)
+    {
+        for (const Stmt &stmt : stmts) {
+            switch (stmt.kind) {
+              case Stmt::Kind::kOp:
+                CIMMLC_RETURN_IF_ERROR(checkOp(stmt.op, in_init));
+                break;
+              case Stmt::Kind::kParallel:
+                if (in_parallel) {
+                    return invalidArgument(
+                        "nested parallel blocks are not supported");
+                }
+                CIMMLC_RETURN_IF_ERROR(
+                    section(stmt.body, in_init, /*in_parallel=*/true));
+                break;
+              case Stmt::Kind::kRepeat:
+                if (stmt.repeat <= 0) {
+                    return invalidArgument(strformat(
+                        "repeat count must be positive, got %lld",
+                        static_cast<long long>(stmt.repeat)));
+                }
+                CIMMLC_RETURN_IF_ERROR(
+                    section(stmt.body, in_init, in_parallel));
+                break;
+            }
+        }
+        return Status::ok();
+    }
+
+    Status
+    checkBufAddr(const BufAddr &addr, std::int64_t extent,
+                 const MetaOp &op)
+    {
+        if (addr.offset < 0 || extent < 0) {
+            return outOfRange("negative buffer address in " +
+                              op.toString());
+        }
+        if (addr.space == MemSpace::kL1) {
+            if (addr.core < 0 || addr.core >= arch_.chip.coreNumber()) {
+                return outOfRange("L1 core out of range in " +
+                                  op.toString());
+            }
+            // Element size is int32 in the executable model.
+            if (arch_.core.l1_size_kib > 0) {
+                const std::int64_t capacity = static_cast<std::int64_t>(
+                    arch_.core.l1_size_kib * 1024.0 / 4.0);
+                if (addr.offset + extent > capacity) {
+                    return outOfRange(strformat(
+                        "L1 overflow (%lld > %lld elems) in %s",
+                        static_cast<long long>(addr.offset + extent),
+                        static_cast<long long>(capacity),
+                        op.toString().c_str()));
+                }
+            }
+        } else if (arch_.chip.l0_size_kib > 0) {
+            const std::int64_t capacity = static_cast<std::int64_t>(
+                arch_.chip.l0_size_kib * 1024.0 / 4.0);
+            if (addr.offset + extent > capacity) {
+                return outOfRange(strformat(
+                    "L0 overflow (%lld > %lld elems) in %s",
+                    static_cast<long long>(addr.offset + extent),
+                    static_cast<long long>(capacity),
+                    op.toString().c_str()));
+            }
+        }
+        return Status::ok();
+    }
+
+    Status
+    checkOp(const MetaOp &op, bool in_init)
+    {
+        if (options_.enforce_mode &&
+            !opAllowedInMode(op.kind, arch_.mode)) {
+            return failedPrecondition(strformat(
+                "%s is not exposed by the %s programming interface",
+                metaOpKindName(op.kind), computeModeName(arch_.mode)));
+        }
+        if (isCimMetaOp(op.kind)) {
+            if (op.core < 0 || op.core >= arch_.chip.coreNumber()) {
+                return outOfRange(strformat(
+                    "core %lld out of range [0, %lld) in %s",
+                    static_cast<long long>(op.core),
+                    static_cast<long long>(arch_.chip.coreNumber()),
+                    op.toString().c_str()));
+            }
+        }
+        switch (op.kind) {
+          case MetaOpKind::kReadXb:
+          case MetaOpKind::kWriteXb:
+          case MetaOpKind::kReadRow:
+          case MetaOpKind::kWriteRow: {
+            if (op.xb < 0 || op.xb >= arch_.core.xbNumber()) {
+                return outOfRange(strformat(
+                    "crossbar %lld out of range [0, %lld) in %s",
+                    static_cast<long long>(op.xb),
+                    static_cast<long long>(arch_.core.xbNumber()),
+                    op.toString().c_str()));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        switch (op.kind) {
+          case MetaOpKind::kReadXb: {
+            if (op.xb + op.len > arch_.core.xbNumber()) {
+                return outOfRange("readxb len exceeds crossbars in " +
+                                  op.toString());
+            }
+            if (op.rows > arch_.xbar.rows) {
+                return outOfRange("readxb rows exceed crossbar rows in " +
+                                  op.toString());
+            }
+            if (op.cols > arch_.logicalColsPerCrossbar() * op.len) {
+                return outOfRange("readxb cols exceed capacity in " +
+                                  op.toString());
+            }
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, op.rows, op));
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, op.cols, op));
+            break;
+          }
+          case MetaOpKind::kReadRow: {
+            if (op.row < 0 || op.row + op.len > arch_.xbar.rows) {
+                return outOfRange("readrow range exceeds crossbar in " +
+                                  op.toString());
+            }
+            if (op.len > arch_.xbar.parallel_row) {
+                return outOfRange(strformat(
+                    "readrow activates %lld rows but parallel_row is "
+                    "%lld in %s",
+                    static_cast<long long>(op.len),
+                    static_cast<long long>(arch_.xbar.parallel_row),
+                    op.toString().c_str()));
+            }
+            if (op.cols > arch_.logicalColsPerCrossbar()) {
+                return outOfRange("readrow cols exceed capacity in " +
+                                  op.toString());
+            }
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, op.len, op));
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, op.cols, op));
+            break;
+          }
+          case MetaOpKind::kWriteXb:
+          case MetaOpKind::kWriteRow: {
+            if (!in_init && options_.enforce_write_policy &&
+                arch_.weightsStationary()) {
+                return failedPrecondition(strformat(
+                    "%s devices freeze weights after init; runtime "
+                    "write in %s",
+                    cellTypeName(arch_.xbar.cell_type),
+                    op.toString().c_str()));
+            }
+            if (op.kind == MetaOpKind::kWriteRow &&
+                (op.row < 0 || op.row + op.len > arch_.xbar.rows)) {
+                return outOfRange("writerow range exceeds crossbar in " +
+                                  op.toString());
+            }
+            if (op.payload) {
+                const std::int64_t prows = op.payload->shape().dim(0);
+                const std::int64_t pcols =
+                    op.payload->shape().rank() > 1
+                        ? op.payload->shape().dim(1) : 1;
+                if (op.kind == MetaOpKind::kWriteXb &&
+                    (prows > arch_.xbar.rows ||
+                     pcols > arch_.logicalColsPerCrossbar())) {
+                    return outOfRange("writexb payload exceeds crossbar "
+                                      "in " + op.toString());
+                }
+                if (op.kind == MetaOpKind::kWriteRow &&
+                    (prows > op.len ||
+                     pcols > arch_.logicalColsPerCrossbar())) {
+                    return outOfRange("writerow payload exceeds range "
+                                      "in " + op.toString());
+                }
+            }
+            break;
+          }
+          case MetaOpKind::kDcom: {
+            if (!knownDcomFunc(op.func)) {
+                return invalidArgument("unknown DCOM function '" +
+                                       op.func + "'");
+            }
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, op.len, op));
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, 0, op));
+            break;
+          }
+          case MetaOpKind::kMov: {
+            if (op.len <= 0 || op.count <= 0) {
+                return invalidArgument("mov len/count must be positive "
+                                       "in " + op.toString());
+            }
+            const std::int64_t src_extent =
+                op.src_stride * (op.count - 1) + op.len;
+            const std::int64_t dst_extent =
+                op.dst_stride * (op.count - 1) + op.len;
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, src_extent, op));
+            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, dst_extent, op));
+            break;
+          }
+          case MetaOpKind::kReadCore:
+          case MetaOpKind::kWriteCore:
+            break;
+        }
+        return Status::ok();
+    }
+
+    const CimArchitecture &arch_;
+    ValidateOptions options_;
+};
+
+} // namespace
+
+Status
+validateProgram(const MopProgram &program, const CimArchitecture &arch,
+                const ValidateOptions &options)
+{
+    Validator validator(arch, options);
+    return validator.run(program);
+}
+
+} // namespace cimmlc

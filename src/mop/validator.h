@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural validation of meta-operator flows against a target
+ * architecture: address ranges, row/column bounds, parallel-row limits,
+ * computing-mode legality, and device write policy.
+ */
+#ifndef CIMMLC_MOP_VALIDATOR_H
+#define CIMMLC_MOP_VALIDATOR_H
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "mop/program.h"
+
+namespace cimmlc {
+
+/** Validation knobs. */
+struct ValidateOptions {
+    //! reject runtime crossbar writes on weights-stationary devices
+    bool enforce_write_policy = true;
+    //! reject ops below the architecture's computing-mode granularity
+    bool enforce_mode = true;
+};
+
+/**
+ * Checks @p program against @p arch. The first violation is returned;
+ * OK means the flow is structurally executable on the architecture.
+ */
+Status validateProgram(const MopProgram &program,
+                       const CimArchitecture &arch,
+                       const ValidateOptions &options = {});
+
+} // namespace cimmlc
+
+#endif // CIMMLC_MOP_VALIDATOR_H

@@ -1,0 +1,127 @@
+#include "perfsim/perf_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/strutil.h"
+#include "graph/analysis.h"
+
+namespace cimmlc {
+
+std::string
+PerfReport::toString() const
+{
+    return strformat(
+        "latency %.4g cycles (reload %.3g), energy %.4g pJ "
+        "(xb %.3g, adc/dac %.3g, mov %.3g, alu %.3g, write %.3g), "
+        "peak %.4g mW / avg %.4g mW, peak-active %lld xbs, "
+        "mapped %lld xbs (%.1f%%)",
+        latency_cycles, reload_cycles, energy.total(), energy.xbar_pj,
+        energy.adc_dac_pj, energy.movement_pj, energy.alu_pj,
+        energy.write_pj, peak_power_mw, avg_power_mw,
+        static_cast<long long>(peak_active_xbs),
+        static_cast<long long>(crossbars_mapped),
+        crossbar_utilization * 100.0);
+}
+
+StatusOr<PerfReport>
+evaluateSchedule(const Graph &graph, const CimArchitecture &arch,
+                 const Schedule &schedule)
+{
+    const EnergyModel energy_model(arch);
+    PerfReport report;
+    report.latency_cycles = schedule.total_latency_cycles;
+    report.reload_cycles = schedule.total_reload_cycles;
+    report.peak_active_xbs = schedule.peak_active_xbs;
+
+    for (const OperatorMapping &mapping : schedule.ops) {
+        const Node &node = graph.node(mapping.node);
+        if (mapping.is_cim) {
+            const auto matrix = weightMatrixShape(graph, mapping.node);
+            const double windows =
+                static_cast<double>(mapping.windows);
+            // Activation phases per window: bit-serial DAC cycles times
+            // the serial row groups. The VVM remap runs groups on
+            // different arrays concurrently — it changes latency, not
+            // the total number of group activations, so energy uses the
+            // pre-remap count.
+            const std::int64_t rows_used =
+                std::min(matrix->rows, arch.xbar.rows);
+            const std::int64_t groups =
+                ceilDiv(rows_used, arch.xbar.parallel_row);
+            const double phases_per_window =
+                static_cast<double>(arch.dacCyclesPerActivation()) *
+                static_cast<double>(groups);
+            // Every tile of the replica fires for each window;
+            // duplication does not change total work, only time.
+            const double xb_activations =
+                windows * phases_per_window *
+                static_cast<double>(mapping.grid.physicalCrossbars());
+            report.energy.xbar_pj +=
+                xb_activations * energy_model.xbarActivationPj();
+            report.energy.adc_dac_pj +=
+                xb_activations * energy_model.conversionPj();
+
+            // Operand movement across the chip: sliding-window reuse
+            // means only the fresh patch column plus the outputs cross
+            // the NoC per window (same accounting as the scheduler's
+            // transfer model).
+            double fresh_in_elems;
+            if (node.kind == OpKind::kConv2d) {
+                const auto &in_dims = graph.tensor(node.inputs[0]).dims;
+                fresh_in_elems = static_cast<double>(
+                    in_dims[1] * node.conv().kernel_h *
+                    node.conv().stride);
+            } else {
+                fresh_in_elems = static_cast<double>(matrix->rows);
+            }
+            const double bits_per_window =
+                (fresh_in_elems + static_cast<double>(matrix->cols)) *
+                arch.activation_bits;
+            report.energy.movement_pj +=
+                energy_model.movementPj(windows * bits_per_window);
+
+            // Weight programming: all replicas' cells, once per
+            // inference for reload-bearing segments, amortized to zero
+            // for the resident first segment (counted when reload
+            // cycles are present).
+            if (schedule.segments.size() > 1 && mapping.segment > 0) {
+                const double cells =
+                    static_cast<double>(matrix->rows) *
+                    static_cast<double>(matrix->cols) *
+                    static_cast<double>(arch.cellsPerWeight()) *
+                    static_cast<double>(mapping.totalDuplication());
+                report.energy.write_pj += energy_model.writePj(cells);
+            }
+            report.crossbars_mapped += mapping.totalCrossbars();
+        } else {
+            const std::int64_t ops = aluOpCount(graph, mapping.node);
+            report.energy.alu_pj +=
+                energy_model.aluPj(static_cast<double>(ops));
+            const std::int64_t bits =
+                outputElements(graph, mapping.node) *
+                arch.activation_bits;
+            report.energy.movement_pj +=
+                energy_model.movementPj(static_cast<double>(bits));
+        }
+    }
+
+    report.peak_power_mw =
+        static_cast<double>(report.peak_active_xbs) *
+            energy_model.activeCrossbarPowerMw() +
+        energy_model.movementPeakPowerMw();
+    if (report.latency_cycles > 0.0)
+        report.avg_power_mw = report.energy.total() /
+                              report.latency_cycles;
+    const std::int64_t total_xbs = arch.totalCrossbars();
+    if (total_xbs > 0) {
+        report.crossbar_utilization =
+            static_cast<double>(std::min<std::int64_t>(
+                report.crossbars_mapped, total_xbs)) /
+            static_cast<double>(total_xbs);
+    }
+    return report;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Analytic performance evaluation of a compiled schedule: latency,
+ * energy breakdown, peak and average power — the role of the extended
+ * PUMA-sim / NeuroSim performance simulator in Section 4.1.
+ */
+#ifndef CIMMLC_PERFSIM_PERF_MODEL_H
+#define CIMMLC_PERFSIM_PERF_MODEL_H
+
+#include <string>
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "perfsim/energy.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/** Aggregate results of one inference under a schedule. */
+struct PerfReport {
+    double latency_cycles = 0.0;
+    double reload_cycles = 0.0;
+    EnergyBreakdown energy;
+    double peak_power_mw = 0.0;
+    double avg_power_mw = 0.0;
+    std::int64_t peak_active_xbs = 0;
+    std::int64_t crossbars_mapped = 0; //!< arrays holding weights
+    double crossbar_utilization = 0.0; //!< mapped / available
+
+    std::string toString() const;
+};
+
+/** Evaluates @p schedule for a single inference of @p graph. */
+StatusOr<PerfReport> evaluateSchedule(const Graph &graph,
+                                      const CimArchitecture &arch,
+                                      const Schedule &schedule);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_PERFSIM_PERF_MODEL_H

@@ -1,0 +1,434 @@
+#include "sched/cg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+namespace {
+
+/**
+ * CG-level duplication cap from the shared chip NoC / L0 port: replicas
+ * made at this level live on different cores, so each adds its own
+ * operand stream ("CIM-MLC will update the duplication number to keep
+ * the data transfer amount within the NoC and buffer capability").
+ * MVM-grained intra-core replicas are exempt: adjacent windows inside
+ * one core share the sliding-window halo already resident in L1.
+ */
+std::int64_t
+bandwidthDupCap(const NodeCost &cost, const CimArchitecture &arch)
+{
+    const double limit_bw = chipBandwidthLimit(arch);
+    if (limit_bw <= 0.0 || cost.transfer_bits_per_window <= 0.0 ||
+        cost.cycles_per_window <= 0.0) {
+        return 0; // uncapped
+    }
+    const double per_replica_bw =
+        cost.transfer_bits_per_window / cost.cycles_per_window;
+    const std::int64_t cap = static_cast<std::int64_t>(
+        std::floor(limit_bw / per_replica_bw));
+    return std::max<std::int64_t>(1, cap);
+}
+
+/** Feasibility probe for the min-max binary search. */
+bool
+bottleneckFeasible(const std::vector<double> &latencies,
+                   const std::vector<std::int64_t> &core_costs,
+                   const std::vector<std::int64_t> &max_dup,
+                   const std::vector<double> &floors,
+                   std::int64_t budget, double target)
+{
+    std::int64_t used = 0;
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+        if (core_costs[i] <= 0)
+            continue; // fixed stage
+        // A stage never duplicates below its streaming floor: replicas
+        // beyond that would starve on the shared bandwidth.
+        const double stage_target =
+            floors.empty() ? target : std::max(target, floors[i]);
+        std::int64_t need = static_cast<std::int64_t>(
+            std::ceil(latencies[i] / stage_target));
+        need = std::max<std::int64_t>(need, 1);
+        if (!max_dup.empty() && max_dup[i] > 0)
+            need = std::min(need, max_dup[i]);
+        used += need * core_costs[i];
+        if (used > budget)
+            return false;
+    }
+    return used <= budget;
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+allocateDuplication(const std::vector<double> &latencies,
+                    const std::vector<std::int64_t> &core_costs,
+                    std::int64_t budget, bool pipelined,
+                    const std::vector<std::int64_t> &max_dup,
+                    const std::vector<double> &floors)
+{
+    const std::size_t n = latencies.size();
+    CIMMLC_CHECK_EQ(core_costs.size(), n);
+    std::vector<std::int64_t> dup(n, 1);
+
+    std::int64_t min_cores = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        min_cores += std::max<std::int64_t>(core_costs[i], 0);
+    if (min_cores > budget) {
+        // Caller segmented wrongly; fall back to no duplication.
+        return dup;
+    }
+
+    auto cap_of = [&](std::size_t i) -> std::int64_t {
+        if (max_dup.empty() || max_dup[i] <= 0)
+            return std::numeric_limits<std::int64_t>::max();
+        return max_dup[i];
+    };
+    auto floor_of = [&](std::size_t i) -> double {
+        return floors.empty() ? 0.0 : floors[i];
+    };
+    // Duplication that reaches the streaming floor; more is wasted.
+    auto floor_cap = [&](std::size_t i) -> std::int64_t {
+        const double floor = floor_of(i);
+        if (floor <= 0.0)
+            return cap_of(i);
+        const std::int64_t by_floor = static_cast<std::int64_t>(
+            std::ceil(latencies[i] / floor));
+        return std::min(cap_of(i), std::max<std::int64_t>(by_floor, 1));
+    };
+
+    if (pipelined) {
+        // Binary-search the achievable bottleneck latency.
+        double high = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            high = std::max(high, latencies[i]);
+        if (high <= 0.0)
+            return dup;
+        double low = high * static_cast<double>(min_cores) /
+                     std::max<double>(1.0, static_cast<double>(budget));
+        low = std::max(low, 1e-6);
+        // Fixed (non-duplicable) stages bound the bottleneck from below.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (core_costs[i] <= 0)
+                low = std::max(low, latencies[i]);
+        }
+        for (int iter = 0; iter < 64 && high - low > 1e-6 * high;
+             ++iter) {
+            const double mid = 0.5 * (low + high);
+            if (bottleneckFeasible(latencies, core_costs, max_dup,
+                                   floors, budget, mid)) {
+                high = mid;
+            } else {
+                low = mid;
+            }
+        }
+        std::int64_t used = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (core_costs[i] <= 0)
+                continue;
+            const double stage_target = std::max(high, floor_of(i));
+            std::int64_t d = static_cast<std::int64_t>(
+                std::ceil(latencies[i] / stage_target));
+            d = clampInt(d, 1, floor_cap(i));
+            dup[i] = d;
+            used += d * core_costs[i];
+        }
+        // Spend leftover cores on whatever stage is now the bottleneck.
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            double worst = -1.0;
+            std::size_t worst_i = n;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (core_costs[i] <= 0 || dup[i] >= floor_cap(i))
+                    continue;
+                const double s =
+                    latencies[i] / static_cast<double>(dup[i]);
+                if (s > worst) {
+                    worst = s;
+                    worst_i = i;
+                }
+            }
+            if (worst_i < n && used + core_costs[worst_i] <= budget) {
+                ++dup[worst_i];
+                used += core_costs[worst_i];
+                improved = true;
+            }
+        }
+        return dup;
+    }
+
+    // Serial objective: marginal-gain-per-core greedy (optimal for the
+    // convex L/D curve).
+    struct Candidate {
+        double gain_per_core;
+        std::size_t index;
+        bool operator<(const Candidate &other) const
+        {
+            return gain_per_core < other.gain_per_core;
+        }
+    };
+    auto gain = [&](std::size_t i) {
+        const double d = static_cast<double>(dup[i]);
+        const double floor = floor_of(i);
+        const double now = std::max(latencies[i] / d, floor);
+        const double next = std::max(latencies[i] / (d + 1.0), floor);
+        return (now - next) / static_cast<double>(core_costs[i]);
+    };
+    std::priority_queue<Candidate> heap;
+    std::int64_t used = min_cores;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (core_costs[i] > 0 && dup[i] < floor_cap(i))
+            heap.push({gain(i), i});
+    }
+    while (!heap.empty()) {
+        const Candidate top = heap.top();
+        heap.pop();
+        const std::size_t i = top.index;
+        if (top.gain_per_core <= 0.0)
+            continue; // at the floor: more replicas bring nothing
+        if (used + core_costs[i] > budget)
+            continue; // this stage no longer fits; others may
+        // Stale entry guard: recompute and requeue when outdated.
+        const double current = gain(i);
+        if (current < top.gain_per_core * (1.0 - 1e-12)) {
+            heap.push({current, i});
+            continue;
+        }
+        ++dup[i];
+        used += core_costs[i];
+        if (dup[i] < floor_cap(i))
+            heap.push({gain(i), i});
+    }
+    return dup;
+}
+
+namespace {
+
+/** Working record for one segment during construction. */
+struct SegmentBuild {
+    std::vector<std::size_t> members; //!< indices into costs vector
+    std::int64_t min_cores = 0;
+};
+
+/** Stage latencies/costs for the allocator, honouring options. */
+struct SegmentPlan {
+    std::vector<std::size_t> members;
+    std::vector<double> latencies;
+    std::vector<std::int64_t> core_costs;
+    std::vector<std::int64_t> caps;
+    std::vector<std::int64_t> dup;
+    SegmentLatency latency;
+};
+
+SegmentPlan
+planSegment(const std::vector<NodeCost> &costs,
+            const std::vector<std::size_t> &members,
+            const CimArchitecture &arch, const ScheduleOptions &options)
+{
+    SegmentPlan plan;
+    plan.members = members;
+    for (std::size_t idx : members) {
+        const NodeCost &cost = costs[idx];
+        const double effective_cpw =
+            bandwidthBoundCyclesPerWindow(cost, arch);
+        const double latency =
+            cost.is_cim ? static_cast<double>(cost.windows) *
+                              effective_cpw *
+                              static_cast<double>(cost.chip_splits)
+                        : cost.alu_cycles;
+        plan.latencies.push_back(latency);
+        plan.core_costs.push_back(cost.is_cim ? cost.cores_per_replica
+                                              : 0);
+        std::int64_t cap =
+            cost.is_cim ? std::max<std::int64_t>(cost.windows, 1) : 1;
+        const std::int64_t bw_cap = bandwidthDupCap(cost, arch);
+        if (cost.is_cim && bw_cap > 0)
+            cap = std::min(cap, bw_cap);
+        plan.caps.push_back(cap);
+    }
+
+    auto evaluate = [&](const std::vector<std::int64_t> &dup) {
+        std::vector<StageCost> stages;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            const NodeCost &cost = costs[members[i]];
+            if (!cost.is_stage)
+                continue;
+            StageCost stage;
+            stage.node = cost.node;
+            stage.stage_latency =
+                plan.latencies[i] / static_cast<double>(dup[i]);
+            stage.fill_fraction = cost.fill_fraction;
+            stages.push_back(stage);
+        }
+        return segmentLatency(stages);
+    };
+
+    if (options.cg_duplication) {
+        plan.dup = allocateDuplication(plan.latencies, plan.core_costs,
+                                       arch.chip.coreNumber(),
+                                       options.cg_pipeline, plan.caps);
+        plan.latency = evaluate(plan.dup);
+        if (options.cg_pipeline) {
+            // Fill-dominated graphs (chains of full-input stages such as
+            // transformer blocks) behave serially even when pipelined;
+            // the min-sum allocation can then beat the min-max one. Try
+            // both and keep the better schedule.
+            std::vector<std::int64_t> serial_dup = allocateDuplication(
+                plan.latencies, plan.core_costs, arch.chip.coreNumber(),
+                /*pipelined=*/false, plan.caps);
+            const SegmentLatency serial_eval = evaluate(serial_dup);
+            if (serial_eval.pipelined < plan.latency.pipelined) {
+                plan.dup = std::move(serial_dup);
+                plan.latency = serial_eval;
+            }
+        }
+    } else {
+        plan.dup.assign(members.size(), 1);
+        plan.latency = evaluate(plan.dup);
+    }
+    if (!options.cg_pipeline)
+        plan.latency.pipelined = plan.latency.serial;
+    return plan;
+}
+
+} // namespace
+
+StatusOr<CgResult>
+runCgOptimization(const Graph &graph, const CimArchitecture &arch,
+                  const ScheduleOptions &options)
+{
+    CIMMLC_RETURN_IF_ERROR(graph.validate());
+    CIMMLC_RETURN_IF_ERROR(arch.validate());
+
+    CgResult result;
+    CIMMLC_RETURN_IF_ERROR(options.binding.validate());
+    result.costs = computeGraphCosts(graph, arch, options.binding);
+    const std::int64_t budget = arch.chip.coreNumber();
+
+    // ----- resource-adaptive segmentation -------------------------------
+    // Greedily grow maximal subgraphs in topological order; when a
+    // segment closes, pop trailing nodes while that strictly improves the
+    // segment's (pipelined or serial) latency — the Figure 9(b)
+    // refinement loop.
+    std::vector<SegmentBuild> builds;
+    SegmentBuild current;
+    for (std::size_t idx = 0; idx < result.costs.size(); ++idx) {
+        const NodeCost &cost = result.costs[idx];
+        const std::int64_t need =
+            cost.is_cim ? cost.cores_per_replica : 0;
+        if (need > budget) {
+            return resourceExhausted(strformat(
+                "operator '%s' exceeds the chip even after splitting",
+                graph.node(cost.node).name.c_str()));
+        }
+        if (current.min_cores + need > budget && !current.members.empty()) {
+            builds.push_back(std::move(current));
+            current = SegmentBuild{};
+        }
+        current.members.push_back(idx);
+        current.min_cores += need;
+    }
+    if (!current.members.empty())
+        builds.push_back(std::move(current));
+
+    // Refinement: pop trailing CIM nodes while latency improves and the
+    // popped nodes still fit in a following segment.
+    if (builds.size() > 1 && options.cg_duplication) {
+        for (std::size_t s = 0; s + 1 < builds.size(); ++s) {
+            while (builds[s].members.size() > 1) {
+                SegmentPlan with_all =
+                    planSegment(result.costs, builds[s].members, arch,
+                                options);
+                std::vector<std::size_t> fewer = builds[s].members;
+                const std::size_t moved = fewer.back();
+                fewer.pop_back();
+                SegmentPlan without_last =
+                    planSegment(result.costs, fewer, arch, options);
+                const double before = options.cg_pipeline
+                                          ? with_all.latency.pipelined
+                                          : with_all.latency.serial;
+                const double after = options.cg_pipeline
+                                         ? without_last.latency.pipelined
+                                         : without_last.latency.serial;
+                // Moving a node to the next segment adds its solo cost
+                // there; only pop when the improvement beats that and
+                // the next segment can still hold the node.
+                const NodeCost &moved_cost = result.costs[moved];
+                const double moved_solo =
+                    moved_cost.is_cim
+                        ? moved_cost.base_latency
+                        : moved_cost.alu_cycles;
+                const std::int64_t moved_cores =
+                    moved_cost.is_cim ? moved_cost.cores_per_replica : 0;
+                if (builds[s + 1].min_cores + moved_cores > budget)
+                    break;
+                if (before - after > moved_solo) {
+                    builds[s].members.pop_back();
+                    builds[s].min_cores -=
+                        moved_cost.is_cim ? moved_cost.cores_per_replica
+                                          : 0;
+                    builds[s + 1].members.insert(
+                        builds[s + 1].members.begin(), moved);
+                    builds[s + 1].min_cores +=
+                        moved_cost.is_cim ? moved_cost.cores_per_replica
+                                          : 0;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ----- per-segment duplication + assignment -------------------------
+    for (std::size_t s = 0; s < builds.size(); ++s) {
+        SegmentPlan plan =
+            planSegment(result.costs, builds[s].members, arch, options);
+
+        Segment segment;
+        std::int64_t next_core = 0;
+        for (std::size_t i = 0; i < plan.members.size(); ++i) {
+            const NodeCost &cost = result.costs[plan.members[i]];
+            CgDecision decision;
+            decision.duplication = plan.dup[i];
+            decision.cg_duplication = plan.dup[i];
+            decision.cores_per_replica =
+                cost.is_cim ? cost.cores_per_replica : 0;
+            decision.chip_splits = cost.chip_splits;
+            decision.segment = static_cast<std::int64_t>(s);
+            decision.effective_cpw =
+                cost.is_cim ? bandwidthBoundCyclesPerWindow(cost, arch)
+                            : 0.0;
+            decision.stage_latency =
+                plan.latencies[i] / static_cast<double>(plan.dup[i]);
+            if (cost.is_cim) {
+                decision.core_base = next_core;
+                next_core +=
+                    decision.duplication * decision.cores_per_replica;
+            }
+            result.decisions[cost.node] = decision;
+            segment.nodes.push_back(cost.node);
+        }
+        segment.cores_used = next_core;
+        segment.bottleneck_cycles = plan.latency.bottleneck;
+        segment.latency_cycles = options.cg_pipeline
+                                     ? plan.latency.pipelined
+                                     : plan.latency.serial;
+        // Weight programming: the first segment loads at init time; every
+        // later segment reprograms the arrays before running.
+        segment.reload_cycles =
+            s == 0 ? 0.0 : reloadCycles(arch, arch.xbar.rows);
+        builds[s].min_cores = next_core;
+        result.segments.push_back(std::move(segment));
+    }
+
+    return result;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CG-grained optimization (Section 3.3.2, Figure 9): resource-adaptive
+ * compute-graph segmentation plus intra-segment dynamic-balancing
+ * pipelined duplication.
+ *
+ * Duplication search: for the pipelined objective (minimize the bottleneck
+ * stage under the core budget) we binary-search the bottleneck latency T
+ * and set D_i = ceil(L_i / T) — the exact optimizer for this min-max
+ * allocation, standing in for the paper's dynamic program. For the
+ * serial objective (minimize sum of stage latencies) we use marginal-gain
+ * allocation, optimal because L/D is convex in D.
+ */
+#ifndef CIMMLC_SCHED_CG_H
+#define CIMMLC_SCHED_CG_H
+
+#include <map>
+#include <vector>
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/cost_model.h"
+#include "sched/options.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/** Per-node outcome of CG-grained optimization. */
+struct CgDecision {
+    std::int64_t duplication = 1;
+    //! the CG-level value, preserved when the MVM level refines it
+    std::int64_t cg_duplication = 1;
+    std::int64_t cores_per_replica = 0;
+    std::int64_t chip_splits = 1;
+    std::int64_t segment = 0;
+    std::int64_t core_base = -1;
+    double stage_latency = 0.0;
+    //! per-window cycles after the bandwidth bound
+    double effective_cpw = 0.0;
+};
+
+/** Output of the CG level, consumed by the MVM and VVM levels. */
+struct CgResult {
+    std::vector<NodeCost> costs; //!< topo order, all nodes
+    std::map<NodeId, CgDecision> decisions;
+    std::vector<Segment> segments;
+    //! VVM remap spread per node (filled by the VVM level; 1 = no remap)
+    std::map<NodeId, std::int64_t> vvm_spreads;
+};
+
+/** Runs CG-grained optimization of @p graph on @p arch. */
+StatusOr<CgResult> runCgOptimization(const Graph &graph,
+                                     const CimArchitecture &arch,
+                                     const ScheduleOptions &options);
+
+/**
+ * Duplication allocator for one segment (exposed for unit tests).
+ * @param latencies   base stage latencies L_i
+ * @param core_costs  cores per replica c_i (0 = not duplicable)
+ * @param budget      total cores available
+ * @param pipelined   min-max objective when true, min-sum otherwise
+ * @param max_dup     per-stage duplication caps (0 = uncapped)
+ * @param floors      per-stage streaming floors; duplication never
+ *                    pushes a stage below its floor (cycles)
+ * @returns duplication factors D_i >= 1
+ */
+std::vector<std::int64_t>
+allocateDuplication(const std::vector<double> &latencies,
+                    const std::vector<std::int64_t> &core_costs,
+                    std::int64_t budget, bool pipelined,
+                    const std::vector<std::int64_t> &max_dup = {},
+                    const std::vector<double> &floors = {});
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_CG_H

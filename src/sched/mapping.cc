@@ -1,0 +1,123 @@
+#include "sched/mapping.h"
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+const char *
+xbarDimName(XbarDim dim)
+{
+    switch (dim) {
+      case XbarDim::kXB: return "XB";
+      case XbarDim::kXBR: return "XBR";
+      case XbarDim::kXBC: return "XBC";
+    }
+    return "?";
+}
+
+DimensionBinding
+DimensionBinding::bitsToColumns()
+{
+    return DimensionBinding{XbarDim::kXBR, XbarDim::kXBC, XbarDim::kXBC};
+}
+
+DimensionBinding
+DimensionBinding::bitsToCrossbars()
+{
+    return DimensionBinding{XbarDim::kXBR, XbarDim::kXBC, XbarDim::kXB};
+}
+
+Status
+DimensionBinding::validate() const
+{
+    if (row_binding != XbarDim::kXBR) {
+        return invalidArgument(
+            "matrix rows must bind to crossbar rows (analog accumulation "
+            "runs along bitlines)");
+    }
+    if (col_binding != XbarDim::kXBC) {
+        return invalidArgument(
+            "matrix columns must bind to crossbar columns");
+    }
+    if (bit_binding == XbarDim::kXBR) {
+        return invalidArgument(
+            "bit slices cannot bind to crossbar rows: partial sums of "
+            "different significance would mix in the analog domain");
+    }
+    return Status::ok();
+}
+
+std::string
+VxbGrid::toString() const
+{
+    return strformat(
+        "VxbGrid{%lldx%lld tiles, %lld bit-plane(s), tile=%lldr x %lldc, "
+        "last=%lldr x %lldc -> %lld VXBs, %lld crossbars}",
+        static_cast<long long>(tiles_r), static_cast<long long>(tiles_c),
+        static_cast<long long>(bit_planes),
+        static_cast<long long>(rows_per_tile),
+        static_cast<long long>(logical_cols_per_tile),
+        static_cast<long long>(rows_last_tile),
+        static_cast<long long>(cols_last_tile),
+        static_cast<long long>(vxbCount()),
+        static_cast<long long>(physicalCrossbars()));
+}
+
+VxbGrid
+computeVxbGrid(const WeightMatrixShape &matrix, const CimArchitecture &arch,
+               const DimensionBinding &binding)
+{
+    CIMMLC_CHECK(binding.validate().isOk())
+        << "invalid dimension binding";
+    CIMMLC_CHECK_GT(matrix.rows, 0);
+    CIMMLC_CHECK_GT(matrix.cols, 0);
+
+    VxbGrid grid;
+    grid.rows_per_tile = arch.xbar.rows;
+    if (binding.bit_binding == XbarDim::kXBC) {
+        // Bit slices occupy adjacent columns of the same array.
+        grid.bit_planes = 1;
+        grid.logical_cols_per_tile = arch.logicalColsPerCrossbar();
+    } else {
+        // One bit plane per crossbar: full column width per array.
+        grid.bit_planes = arch.cellsPerWeight();
+        grid.logical_cols_per_tile = arch.xbar.cols;
+    }
+    CIMMLC_CHECK_GT(grid.logical_cols_per_tile, 0)
+        << "crossbar too narrow for one weight: " << arch.name;
+
+    grid.tiles_r = ceilDiv(matrix.rows, grid.rows_per_tile);
+    grid.tiles_c = ceilDiv(matrix.cols, grid.logical_cols_per_tile);
+    grid.rows_last_tile =
+        matrix.rows - (grid.tiles_r - 1) * grid.rows_per_tile;
+    grid.cols_last_tile =
+        matrix.cols - (grid.tiles_c - 1) * grid.logical_cols_per_tile;
+    return grid;
+}
+
+std::int64_t
+coreVxbSlots(const CimArchitecture &arch, const DimensionBinding &binding)
+{
+    const std::int64_t per_vxb =
+        binding.bit_binding == XbarDim::kXB ? arch.cellsPerWeight() : 1;
+    return arch.core.xbNumber() / per_vxb;
+}
+
+std::int64_t
+coresPerReplica(const VxbGrid &grid, const CimArchitecture &arch)
+{
+    return ceilDiv(grid.physicalCrossbars(), arch.core.xbNumber());
+}
+
+std::int64_t
+chipWeightCapacity(const CimArchitecture &arch)
+{
+    const std::int64_t cells_per_xb = arch.xbar.rows * arch.xbar.cols;
+    const std::int64_t weights_per_xb =
+        cells_per_xb / arch.cellsPerWeight();
+    return weights_per_xb * arch.totalCrossbars();
+}
+
+} // namespace cimmlc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Weight-to-crossbar mapping structures: the dimension-binding scheme and
+ * virtual crossbars (VXBs) of Section 3.3.3 / Figure 7.
+ *
+ * A weight matrix has dimensions R (reduction rows), C (output columns),
+ * and B (bit slices). Crossbar dimensions are XB (which crossbar), XBR
+ * (crossbar rows), XBC (crossbar columns). The binding decides how R/C/B
+ * spread across physical arrays; the default binding R->XBR, C->XBC,
+ * B->XBC packs the bit slices of one weight into adjacent columns of the
+ * same crossbar.
+ */
+#ifndef CIMMLC_SCHED_MAPPING_H
+#define CIMMLC_SCHED_MAPPING_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/arch.h"
+#include "graph/analysis.h"
+
+namespace cimmlc {
+
+/** Crossbar-side dimensions of the binding scheme. */
+enum class XbarDim { kXB, kXBR, kXBC };
+
+const char *xbarDimName(XbarDim dim);
+
+/** The R/C/B -> XB/XBR/XBC assignment. */
+struct DimensionBinding {
+    XbarDim row_binding = XbarDim::kXBR; //!< matrix R
+    XbarDim col_binding = XbarDim::kXBC; //!< matrix C
+    XbarDim bit_binding = XbarDim::kXBC; //!< data bit slices B
+
+    /** Bit slices in adjacent columns (default; ISAAC/PUMA style). */
+    static DimensionBinding bitsToColumns();
+    /** Bit slices across crossbars (one bit plane per array). */
+    static DimensionBinding bitsToCrossbars();
+
+    /** Only R->XBR, C->XBC with B->{XBC|XB} are physically meaningful. */
+    Status validate() const;
+};
+
+/**
+ * The crossbar tiling of one operator's weight matrix.
+ *
+ * One *VXB* is the group of physical crossbars that jointly computes one
+ * crossbar-shaped MVM tile: a single array when bits go to columns, or
+ * `bit_planes` arrays when bits go to separate crossbars.
+ */
+struct VxbGrid {
+    std::int64_t tiles_r = 0;     //!< vertical tiles over matrix rows
+    std::int64_t tiles_c = 0;     //!< horizontal tiles over matrix cols
+    std::int64_t bit_planes = 1;  //!< crossbars per VXB (B->XB binding)
+    std::int64_t rows_per_tile = 0;
+    std::int64_t logical_cols_per_tile = 0;
+    std::int64_t rows_last_tile = 0; //!< rows used by the last vertical tile
+    std::int64_t cols_last_tile = 0;
+
+    /** VXB tiles the operator occupies (paper's num_VXB). */
+    std::int64_t vxbCount() const { return tiles_r * tiles_c; }
+
+    /** Physical crossbars per operator replica. */
+    std::int64_t physicalCrossbars() const
+    {
+        return vxbCount() * bit_planes;
+    }
+
+    std::string toString() const;
+};
+
+/** Tiles @p matrix onto @p arch crossbars under @p binding. */
+VxbGrid computeVxbGrid(const WeightMatrixShape &matrix,
+                       const CimArchitecture &arch,
+                       const DimensionBinding &binding =
+                           DimensionBinding::bitsToColumns());
+
+/** VXB slots available in one core (paper's Core_VXB). @returns >= 0 */
+std::int64_t coreVxbSlots(const CimArchitecture &arch,
+                          const DimensionBinding &binding =
+                              DimensionBinding::bitsToColumns());
+
+/** Cores needed to hold one replica of @p grid. */
+std::int64_t coresPerReplica(const VxbGrid &grid,
+                             const CimArchitecture &arch);
+
+/** 8-bit-weight capacity of the whole chip. */
+std::int64_t chipWeightCapacity(const CimArchitecture &arch);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_MAPPING_H

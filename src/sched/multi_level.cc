@@ -1,0 +1,188 @@
+#include "sched/multi_level.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "sched/cg.h"
+#include "sched/mvm.h"
+#include "sched/vvm.h"
+
+namespace cimmlc {
+
+std::string
+ScheduleOptions::toString() const
+{
+    std::vector<std::string> parts;
+    if (cg_duplication)
+        parts.push_back("cg-dup");
+    if (cg_pipeline)
+        parts.push_back("cg-pipe");
+    if (mvm_duplication)
+        parts.push_back("mvm-dup");
+    if (mvm_pipeline)
+        parts.push_back("mvm-pipe");
+    if (vvm_remap)
+        parts.push_back("vvm-remap");
+    if (binding.bit_binding == XbarDim::kXB)
+        parts.push_back("bits-to-xb");
+    return parts.empty() ? "none" : join(parts, "+");
+}
+
+StatusOr<Schedule>
+scheduleGraph(const Graph &graph, const CimArchitecture &arch,
+              const ScheduleOptions &options)
+{
+    // Clamp options to the levels the programming interface exposes.
+    ScheduleOptions effective = options;
+    if (arch.mode == ComputeMode::kCM) {
+        effective.mvm_duplication = false;
+        effective.mvm_pipeline = false;
+        effective.vvm_remap = false;
+    } else if (arch.mode == ComputeMode::kXBM) {
+        effective.vvm_remap = false;
+    }
+
+    CIMMLC_ASSIGN_OR_RETURN(CgResult cg,
+                            runCgOptimization(graph, arch, effective));
+    if (arch.mode != ComputeMode::kCM) {
+        CIMMLC_RETURN_IF_ERROR(
+            runMvmOptimization(graph, arch, effective, &cg));
+    } else {
+        // Still refresh activation statistics for CM-only chips (the MVM
+        // pass normally does this); without XBM control every crossbar
+        // of a running operator is active.
+        for (Segment &segment : cg.segments) {
+            std::int64_t peak = 0;
+            for (NodeId node : segment.nodes) {
+                auto it = std::find_if(cg.costs.begin(), cg.costs.end(),
+                                       [&](const NodeCost &c) {
+                                           return c.node == node;
+                                       });
+                if (!it->is_cim)
+                    continue;
+                const CgDecision &decision = cg.decisions.at(node);
+                const std::int64_t xbs =
+                    it->grid.physicalCrossbars() * decision.duplication;
+                if (effective.cg_pipeline) {
+                    peak += xbs;
+                } else {
+                    peak = std::max(peak, xbs);
+                }
+            }
+            segment.peak_active_xbs = peak;
+        }
+    }
+    if (arch.mode == ComputeMode::kWLM) {
+        CIMMLC_RETURN_IF_ERROR(
+            runVvmOptimization(graph, arch, effective, &cg));
+    }
+
+    // Assemble the Schedule.
+    Schedule schedule;
+    schedule.graph_name = graph.name();
+    schedule.arch_name = arch.name;
+    schedule.mode = arch.mode;
+    schedule.options = effective;
+    schedule.segments = cg.segments;
+
+    for (const NodeCost &cost : cg.costs) {
+        OperatorMapping mapping;
+        mapping.node = cost.node;
+        mapping.is_cim = cost.is_cim;
+        mapping.windows = cost.windows;
+        mapping.cycles_per_window = cost.cycles_per_window;
+        mapping.base_latency = cost.base_latency;
+        mapping.fill_fraction = cost.fill_fraction;
+        mapping.alu_cycles = cost.alu_cycles;
+        mapping.grid = cost.grid;
+        mapping.chip_splits = cost.chip_splits;
+
+        auto it = cg.decisions.find(cost.node);
+        if (it != cg.decisions.end()) {
+            const CgDecision &decision = it->second;
+            mapping.duplication = decision.cg_duplication;
+            mapping.mvm_duplication = decision.duplication;
+            mapping.cores_per_replica = decision.cores_per_replica;
+            mapping.core_base = decision.core_base;
+            mapping.segment = decision.segment;
+            mapping.stage_latency = decision.stage_latency;
+        }
+        auto vit = cg.vvm_spreads.find(cost.node);
+        if (vit != cg.vvm_spreads.end())
+            mapping.vvm_spread = vit->second;
+        mapping.mvm_pipelined =
+            effective.mvm_pipeline && arch.mode != ComputeMode::kCM;
+
+        schedule.op_index[cost.node] = schedule.ops.size();
+        schedule.ops.push_back(mapping);
+    }
+
+    // Stage utilizations against each segment bottleneck.
+    for (const Segment &segment : schedule.segments) {
+        for (NodeId node : segment.nodes) {
+            OperatorMapping &mapping = schedule.mapping(node);
+            if (segment.bottleneck_cycles > 0.0 &&
+                mapping.stage_latency > 0.0) {
+                mapping.utilization = std::clamp(
+                    mapping.stage_latency / segment.bottleneck_cycles,
+                    0.0, 1.0);
+            }
+        }
+    }
+
+    schedule.total_latency_cycles = 0.0;
+    schedule.total_reload_cycles = 0.0;
+    schedule.peak_active_xbs = 0;
+    for (const Segment &segment : schedule.segments) {
+        schedule.total_latency_cycles +=
+            segment.latency_cycles + segment.reload_cycles;
+        schedule.total_reload_cycles += segment.reload_cycles;
+        schedule.peak_active_xbs =
+            std::max(schedule.peak_active_xbs, segment.peak_active_xbs);
+    }
+    return schedule;
+}
+
+std::string
+Schedule::summary(const Graph &graph) const
+{
+    std::ostringstream out;
+    out << strformat(
+        "schedule '%s' on '%s' [%s, %s]: %.3g cycles, %lld segments, "
+        "peak %lld active crossbars\n",
+        graph_name.c_str(), arch_name.c_str(), computeModeName(mode),
+        options.toString().c_str(), total_latency_cycles,
+        static_cast<long long>(segments.size()),
+        static_cast<long long>(peak_active_xbs));
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        const Segment &segment = segments[s];
+        out << strformat(
+            "  segment %zu: %zu nodes, %lld cores, %.3g cycles "
+            "(+%.3g reload)\n",
+            s, segment.nodes.size(),
+            static_cast<long long>(segment.cores_used),
+            segment.latency_cycles, segment.reload_cycles);
+    }
+    for (const OperatorMapping &mapping : ops) {
+        if (!mapping.is_cim)
+            continue;
+        const Node &node = graph.node(mapping.node);
+        out << strformat(
+            "    %-24s D=%lld (mvm %lld, spread %lld) cores=%lldx%lld "
+            "vxbs=%lld win=%lld cpw=%.3g S=%.3g\n",
+            node.name.c_str(),
+            static_cast<long long>(mapping.duplication),
+            static_cast<long long>(mapping.mvm_duplication),
+            static_cast<long long>(mapping.vvm_spread),
+            static_cast<long long>(mapping.duplication),
+            static_cast<long long>(mapping.cores_per_replica),
+            static_cast<long long>(mapping.grid.physicalCrossbars()),
+            static_cast<long long>(mapping.windows),
+            mapping.cycles_per_window, mapping.stage_latency);
+    }
+    return out.str();
+}
+
+} // namespace cimmlc

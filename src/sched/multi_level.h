@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The multi-level scheduling driver (Figure 3): applies CG-grained
+ * optimization always, MVM-grained when the architecture exposes XBM or
+ * WLM, and VVM-grained when it exposes WLM, then assembles the Schedule.
+ */
+#ifndef CIMMLC_SCHED_MULTI_LEVEL_H
+#define CIMMLC_SCHED_MULTI_LEVEL_H
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/options.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/**
+ * Compiles @p graph for @p arch under @p options.
+ *
+ * The architecture's computing mode bounds the deepest level applied;
+ * options can disable levels below that bound (for ablations) but never
+ * enable levels the programming interface does not expose.
+ */
+StatusOr<Schedule> scheduleGraph(const Graph &graph,
+                                 const CimArchitecture &arch,
+                                 const ScheduleOptions &options =
+                                     ScheduleOptions::full());
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_MULTI_LEVEL_H

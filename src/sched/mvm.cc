@@ -1,0 +1,163 @@
+#include "sched/mvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "sched/cost_model.h"
+
+namespace cimmlc {
+
+std::int64_t
+mvmDuplicationUpdate(std::int64_t cores_per_replica,
+                     std::int64_t cg_duplication,
+                     std::int64_t core_vxb_slots,
+                     std::int64_t vxbs_per_replica)
+{
+    CIMMLC_CHECK_GT(vxbs_per_replica, 0);
+    CIMMLC_CHECK_GE(cg_duplication, 1);
+    const std::int64_t updated =
+        (cores_per_replica * cg_duplication * core_vxb_slots) /
+        vxbs_per_replica;
+    // The update can only refine upward: allocated cores already hold
+    // cg_duplication replicas.
+    return std::max(updated, cg_duplication);
+}
+
+Status
+runMvmOptimization(const Graph &graph, const CimArchitecture &arch,
+                   const ScheduleOptions &options, CgResult *cg)
+{
+    (void)graph; // geometry already captured in the CG cost records
+    const std::int64_t core_vxb = coreVxbSlots(arch, options.binding);
+    if (core_vxb <= 0) {
+        return failedPrecondition(
+            "architecture has fewer crossbars per core than one VXB "
+            "needs; MVM-grained scheduling is not applicable");
+    }
+
+    // Pass 1: per-node duplication update.
+    for (const NodeCost &cost : cg->costs) {
+        if (!cost.is_cim)
+            continue;
+        CgDecision &decision = cg->decisions.at(cost.node);
+        std::int64_t updated = decision.duplication;
+        if (options.mvm_duplication && cost.chip_splits == 1) {
+            updated = mvmDuplicationUpdate(
+                decision.cores_per_replica, decision.duplication,
+                core_vxb, cost.grid.vxbCount());
+        }
+        // Intra-core replicas ride the sliding-window halo already in
+        // L1, so their operand cost is ~1/halo_reuse of a cross-core
+        // replica — but the shared chip port still bounds the total.
+        const double limit_bw = chipBandwidthLimit(arch);
+        if (limit_bw > 0.0 && cost.transfer_bits_per_window > 0.0 &&
+            cost.cycles_per_window > 0.0) {
+            const double per_replica_bw =
+                cost.transfer_bits_per_window / cost.cycles_per_window /
+                static_cast<double>(
+                    std::max<std::int64_t>(cost.halo_reuse, 1));
+            const std::int64_t bw_cap = static_cast<std::int64_t>(
+                limit_bw / per_replica_bw);
+            updated = std::min(
+                updated,
+                std::max(bw_cap, decision.cg_duplication));
+        }
+        // More replicas than windows cannot be fed.
+        updated = std::min(updated, std::max<std::int64_t>(
+                                        1, cost.windows));
+        decision.duplication = updated;
+        decision.stage_latency =
+            static_cast<double>(cost.windows) * decision.effective_cpw *
+            static_cast<double>(cost.chip_splits) /
+            static_cast<double>(std::max<std::int64_t>(1, updated));
+    }
+
+    // Pass 2: recompute segment latencies and activation statistics with
+    // the staggered-activation model. Without the MVM pipeline every
+    // crossbar of every mapped operator can fire in the same cycle
+    // (Figure 12(c)); with it, a stage only activates the crossbars its
+    // current utilization needs (Figure 12(d)).
+    for (std::size_t s = 0; s < cg->segments.size(); ++s) {
+        Segment &segment = cg->segments[s];
+        std::vector<StageCost> stages;
+        for (NodeId node : segment.nodes) {
+            const CgDecision &decision = cg->decisions.at(node);
+            auto it = std::find_if(cg->costs.begin(), cg->costs.end(),
+                                   [&](const NodeCost &c) {
+                                       return c.node == node;
+                                   });
+            CIMMLC_CHECK(it != cg->costs.end());
+            if (!it->is_stage)
+                continue;
+            StageCost stage;
+            stage.node = node;
+            stage.stage_latency = decision.stage_latency;
+            // Finer MVM chunks shrink the fill: downstream operators
+            // start once the first chunk arrives instead of the whole
+            // stage output (the S20_0 / S20_1 halving of Figure 12).
+            stage.fill_fraction = it->fill_fraction;
+            if (options.mvm_pipeline && it->is_cim &&
+                it->grid.vxbCount() > 1) {
+                stage.fill_fraction /=
+                    static_cast<double>(it->grid.tiles_c);
+                // A linear stage still needs its whole input; the MVM
+                // pipeline cannot break that dependence.
+                if (it->fill_fraction >= 1.0)
+                    stage.fill_fraction = 1.0;
+            }
+            stages.push_back(stage);
+        }
+        const SegmentLatency latency = segmentLatency(stages);
+        segment.bottleneck_cycles = latency.bottleneck;
+        segment.latency_cycles = options.cg_pipeline ? latency.pipelined
+                                                     : latency.serial;
+
+        // Activation statistics.
+        std::int64_t peak = 0;
+        for (NodeId node : segment.nodes) {
+            auto it = std::find_if(cg->costs.begin(), cg->costs.end(),
+                                   [&](const NodeCost &c) {
+                                       return c.node == node;
+                                   });
+            if (!it->is_cim)
+                continue;
+            const CgDecision &decision = cg->decisions.at(node);
+            const std::int64_t all_xbs =
+                it->grid.physicalCrossbars() * decision.duplication;
+            std::int64_t active = all_xbs;
+            if (options.mvm_pipeline) {
+                // Two staggering effects (Figure 12(d)):
+                //  - utilization: a stage's crossbars fire only for the
+                //    fraction of time it is busy vs the bottleneck;
+                //  - phase stagger: inputs enter an operator's VXBs "in
+                //    sequence", so within one multi-cycle window only a
+                //    wavefront of crossbars is in its analog phase. The
+                //    activation FSM pipelines a handful of phases.
+                const double util =
+                    segment.bottleneck_cycles > 0.0
+                        ? decision.stage_latency /
+                              segment.bottleneck_cycles
+                        : 1.0;
+                const std::int64_t stagger = clampInt(
+                    static_cast<std::int64_t>(it->cycles_per_window), 1,
+                    8);
+                active = static_cast<std::int64_t>(std::ceil(
+                    static_cast<double>(all_xbs) *
+                    std::clamp(util, 0.0, 1.0) /
+                    static_cast<double>(stagger)));
+                active = std::max<std::int64_t>(active, 1);
+            }
+            if (options.cg_pipeline) {
+                peak += active; // stages overlap
+            } else {
+                peak = std::max(peak, active); // one stage at a time
+            }
+        }
+        segment.peak_active_xbs = peak;
+    }
+    return Status::ok();
+}
+
+} // namespace cimmlc

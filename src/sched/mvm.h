@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MVM-grained optimization (Section 3.3.3, Figure 12): intra-core
+ * duplication via Equation (1) and the staggered MVM computing pipeline
+ * that lowers peak power.
+ */
+#ifndef CIMMLC_SCHED_MVM_H
+#define CIMMLC_SCHED_MVM_H
+
+#include <cstdint>
+
+#include "arch/arch.h"
+#include "sched/cg.h"
+#include "sched/options.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/** Per-node outcome of the MVM level. */
+struct MvmDecision {
+    //! D'_Oi: replicas after the Equation (1) update
+    std::int64_t mvm_duplication = 1;
+    //! staggered activation applied to this operator
+    bool pipelined = false;
+    //! concurrent crossbar activations of this op in steady state
+    std::int64_t active_xbs = 0;
+};
+
+/**
+ * Equation (1): D' = floor(cores_occupied * D * Core_VXB / num_VXB).
+ *
+ * @param cores_per_replica cores one replica occupies (num^Oi_core)
+ * @param cg_duplication    D_Oi from the CG level
+ * @param core_vxb_slots    VXBs available per core (Core_VXB)
+ * @param vxbs_per_replica  VXBs one replica needs (num^Oi_VXB)
+ */
+std::int64_t mvmDuplicationUpdate(std::int64_t cores_per_replica,
+                                  std::int64_t cg_duplication,
+                                  std::int64_t core_vxb_slots,
+                                  std::int64_t vxbs_per_replica);
+
+/**
+ * Applies the MVM level on top of a CG result, updating decisions and
+ * segment statistics in place (stage latencies shrink by D'/D; activation
+ * counts reflect the staggered pipeline when enabled).
+ */
+Status runMvmOptimization(const Graph &graph, const CimArchitecture &arch,
+                          const ScheduleOptions &options, CgResult *cg);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_MVM_H

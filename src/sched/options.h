@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scheduling options: every optimization the multi-level scheduler applies
+ * can be toggled so the benches can reproduce the paper's ablations
+ * (CG-Pipeline / CG-Duplication / CG-P&D / +MVM / +VVM, Figure 21).
+ */
+#ifndef CIMMLC_SCHED_OPTIONS_H
+#define CIMMLC_SCHED_OPTIONS_H
+
+#include <string>
+
+#include "sched/mapping.h"
+
+namespace cimmlc {
+
+/** Optimization toggles for one compilation. */
+struct ScheduleOptions {
+    // CG-grained (Section 3.3.2)
+    bool cg_duplication = true; //!< DP-based operator duplication
+    bool cg_pipeline = true;    //!< inter-operator pipeline
+
+    //! Figure 7 dimension binding: data bits to adjacent columns
+    //! (default) or to separate bit-plane crossbars
+    DimensionBinding binding = DimensionBinding::bitsToColumns();
+
+    // MVM-grained (Section 3.3.3); only used when the mode allows XBM
+    bool mvm_duplication = true; //!< Equation (1) intra-core update
+    bool mvm_pipeline = true;    //!< staggered crossbar activation
+
+    // VVM-grained (Section 3.3.4); only used when the mode allows WLM
+    bool vvm_remap = true; //!< row remapping across crossbars
+
+    /** Everything off — the "w/o optimization" baseline of Figure 20(d). */
+    static ScheduleOptions
+    none()
+    {
+        ScheduleOptions o;
+        o.cg_duplication = false;
+        o.cg_pipeline = false;
+        o.mvm_duplication = false;
+        o.mvm_pipeline = false;
+        o.vvm_remap = false;
+        return o;
+    }
+
+    /** CG level only (pipeline+duplication), Figure 21(a) "CG-P&D". */
+    static ScheduleOptions
+    cgOnly()
+    {
+        ScheduleOptions o;
+        o.mvm_duplication = false;
+        o.mvm_pipeline = false;
+        o.vvm_remap = false;
+        return o;
+    }
+
+    /** CG + MVM levels, Figure 21(b). */
+    static ScheduleOptions
+    cgMvm()
+    {
+        ScheduleOptions o;
+        o.vvm_remap = false;
+        return o;
+    }
+
+    /** All levels — full CIM-MLC. */
+    static ScheduleOptions
+    full()
+    {
+        return ScheduleOptions{};
+    }
+
+    std::string toString() const;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_OPTIONS_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The schedule produced by multi-level compilation: per-operator mapping
+ * decisions (duplication, cores, VXB tiling, remap spread), the segment
+ * structure from resource-adaptive graph segmentation, and the aggregate
+ * latency / activation statistics the performance simulator refines.
+ */
+#ifndef CIMMLC_SCHED_SCHEDULE_H
+#define CIMMLC_SCHED_SCHEDULE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/arch.h"
+#include "graph/node.h"
+#include "sched/mapping.h"
+#include "sched/options.h"
+
+namespace cimmlc {
+
+class Graph;
+
+/** Mapping and scheduling record for one graph node. */
+struct OperatorMapping {
+    NodeId node = kInvalidNode;
+    bool is_cim = false;
+
+    // ----- CG-grained results -------------------------------------------
+    std::int64_t duplication = 1;       //!< D_Oi after CG optimization
+    std::int64_t cores_per_replica = 0; //!< cores one copy occupies
+    std::int64_t core_base = -1;        //!< first core id assigned
+    std::int64_t segment = 0;           //!< pipeline segment index
+    //! serial chunks when a single replica exceeds the whole chip
+    std::int64_t chip_splits = 1;
+
+    // ----- MVM-grained results ------------------------------------------
+    VxbGrid grid;                       //!< weight tiling (CIM ops)
+    std::int64_t mvm_duplication = 1;   //!< D'_Oi from Equation (1)
+    bool mvm_pipelined = false;         //!< staggered activation applied
+
+    // ----- VVM-grained results ------------------------------------------
+    std::int64_t vvm_spread = 1; //!< row groups run in parallel via remap
+
+    // ----- cost-model annotations ---------------------------------------
+    std::int64_t windows = 0;          //!< MVM issues per inference
+    double cycles_per_window = 0.0;    //!< after all applied levels
+    double base_latency = 0.0;         //!< windows * cycles_per_window
+    double stage_latency = 0.0;        //!< base_latency / total duplication
+    double fill_fraction = 0.0;        //!< pipeline fill cost fraction
+    double utilization = 1.0;          //!< busy fraction vs segment bottleneck
+    double alu_cycles = 0.0;           //!< digital-node total cycles
+
+    /** Total replicas including the MVM-grained update. */
+    std::int64_t
+    totalDuplication() const
+    {
+        return is_cim ? mvm_duplication : 1;
+    }
+
+    /** Physical crossbars across all replicas. */
+    std::int64_t
+    totalCrossbars() const
+    {
+        return is_cim ? grid.physicalCrossbars() * totalDuplication() : 0;
+    }
+};
+
+/** One pipeline segment from resource-adaptive graph segmentation. */
+struct Segment {
+    std::vector<NodeId> nodes;       //!< members in topo order
+    double latency_cycles = 0.0;     //!< per-inference latency
+    double reload_cycles = 0.0;      //!< weight (re)programming before run
+    double bottleneck_cycles = 0.0;  //!< slowest stage in the segment
+    std::int64_t cores_used = 0;
+    //! peak simultaneously-active crossbars while this segment runs
+    std::int64_t peak_active_xbs = 0;
+};
+
+/** A complete multi-level schedule. */
+struct Schedule {
+    std::string graph_name;
+    std::string arch_name;
+    ComputeMode mode = ComputeMode::kCM;
+    ScheduleOptions options;
+
+    std::vector<OperatorMapping> ops;     //!< one per graph node
+    std::map<NodeId, std::size_t> op_index;
+    std::vector<Segment> segments;
+
+    double total_latency_cycles = 0.0;
+    double total_reload_cycles = 0.0;
+    std::int64_t peak_active_xbs = 0; //!< max over segments
+
+    const OperatorMapping &
+    mapping(NodeId node) const
+    {
+        return ops.at(op_index.at(node));
+    }
+
+    OperatorMapping &
+    mapping(NodeId node)
+    {
+        return ops.at(op_index.at(node));
+    }
+
+    bool
+    hasMapping(NodeId node) const
+    {
+        return op_index.count(node) > 0;
+    }
+
+    /** Human-readable schedule report. */
+    std::string summary(const Graph &graph) const;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_SCHEDULE_H

@@ -1,0 +1,161 @@
+#include "sched/vvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "sched/cost_model.h"
+
+namespace cimmlc {
+
+VvmDecision
+chooseVvmSpread(std::int64_t rows_used, std::int64_t parallel_row,
+                std::int64_t used_xbs_per_core,
+                std::int64_t xbs_per_core)
+{
+    VvmDecision decision;
+    decision.row_groups = ceilDiv(std::max<std::int64_t>(rows_used, 1),
+                                  std::max<std::int64_t>(parallel_row, 1));
+    if (decision.row_groups <= 1) {
+        decision.remapped_groups = decision.row_groups;
+        return decision; // already single-cycle
+    }
+    // Spare arrays in the cores this operator occupies: each used
+    // crossbar can borrow floor(spare/used) peers, plus itself.
+    const std::int64_t used = std::max<std::int64_t>(used_xbs_per_core, 1);
+    const std::int64_t spare = std::max<std::int64_t>(
+        xbs_per_core - used, 0);
+    const std::int64_t max_spread = 1 + spare / used;
+    decision.spread = std::min(decision.row_groups, max_spread);
+    decision.remapped_groups =
+        ceilDiv(decision.row_groups, decision.spread);
+    return decision;
+}
+
+Status
+runVvmOptimization(const Graph &graph, const CimArchitecture &arch,
+                   const ScheduleOptions &options, CgResult *cg)
+{
+    if (!options.vvm_remap)
+        return Status::ok();
+
+    // Pass 1: per-node remap decisions and cycle updates. The remap
+    // borrows crossbars that remained free after MVM duplication (which
+    // is often bandwidth-capped) — spreading row groups adds no operand
+    // traffic, since the spread lanes share the same window broadcast.
+    for (NodeCost &cost : cg->costs) {
+        if (!cost.is_cim)
+            continue;
+        CgDecision &decision = cg->decisions.at(cost.node);
+
+        // Spare arrays inside the cores this operator owns.
+        const std::int64_t allocated_xbs = decision.cg_duplication *
+                                           decision.cores_per_replica *
+                                           arch.core.xbNumber();
+        const std::int64_t used_xbs =
+            decision.duplication * cost.grid.physicalCrossbars();
+        // Rows used by the fullest crossbar of the tiling.
+        const std::int64_t rows_used =
+            cost.grid.tiles_r > 1 ? cost.grid.rows_per_tile
+                                  : cost.grid.rows_last_tile;
+        VvmDecision vvm = chooseVvmSpread(
+            rows_used, arch.xbar.parallel_row, used_xbs, allocated_xbs);
+
+        // When spare arrays cannot cover the full spread, consider
+        // trading replicas for spread: half as many copies, each
+        // remapped over twice the arrays, keeps throughput (D x
+        // 1/groups invariant) while shrinking per-window latency — the
+        // Figure 16(e) WLM walkthrough, where four XBM replicas become
+        // two remapped ones. Ceiling effects can break the invariance,
+        // so the trade only commits when it does not slow the stage.
+        if (vvm.remapped_groups > 1 && decision.duplication >= 2) {
+            const std::int64_t trade =
+                std::min(decision.duplication, vvm.remapped_groups);
+            const std::int64_t traded_spread = vvm.spread * trade;
+            const std::int64_t traded_dup =
+                ceilDiv(decision.duplication, trade);
+            const NodeCost with_trade = computeNodeCost(
+                graph, cost.node, arch, traded_spread,
+                options.binding);
+            const NodeCost without_trade = computeNodeCost(
+                graph, cost.node, arch, vvm.spread,
+                options.binding);
+            const double rate_with =
+                with_trade.cycles_per_window /
+                static_cast<double>(traded_dup);
+            const double rate_without =
+                without_trade.cycles_per_window /
+                static_cast<double>(decision.duplication);
+            if (rate_with <= rate_without * (1.0 + 1e-9)) {
+                vvm.spread = traded_spread;
+                vvm.remapped_groups =
+                    ceilDiv(vvm.row_groups, vvm.spread);
+                decision.duplication = traded_dup;
+            }
+        }
+
+        // Even spread 1 benefits from row *balancing* across the
+        // operator's own vertical tiles (Figure 14 remaps within the
+        // allocated arrays first).
+        // Recompute per-window cycles with the remap applied.
+        const NodeCost remapped =
+            computeNodeCost(graph, cost.node, arch, vvm.spread,
+                            options.binding);
+        cost.cycles_per_window = remapped.cycles_per_window;
+        cost.base_latency = remapped.base_latency;
+        decision.effective_cpw =
+            bandwidthBoundCyclesPerWindow(cost, arch);
+        decision.stage_latency =
+            static_cast<double>(cost.windows) * decision.effective_cpw *
+            static_cast<double>(cost.chip_splits) /
+            static_cast<double>(
+                std::max<std::int64_t>(1, decision.duplication));
+        // Record the spread for codegen and the performance simulator.
+        cg->vvm_spreads[cost.node] = vvm.spread;
+    }
+
+    // Pass 2: refresh segment latencies (same pipeline model as the MVM
+    // level; the remap additionally sharpens fills by letting adjacent
+    // operators overlap at row-group granularity, Figure 14(d)).
+    for (Segment &segment : cg->segments) {
+        std::vector<StageCost> stages;
+        for (NodeId node : segment.nodes) {
+            auto it = std::find_if(cg->costs.begin(), cg->costs.end(),
+                                   [&](const NodeCost &c) {
+                                       return c.node == node;
+                                   });
+            CIMMLC_CHECK(it != cg->costs.end());
+            if (!it->is_stage)
+                continue;
+            const CgDecision &decision = cg->decisions.at(node);
+            StageCost stage;
+            stage.node = node;
+            stage.stage_latency = decision.stage_latency;
+            stage.fill_fraction = it->fill_fraction;
+            if (it->is_cim) {
+                const auto vit = cg->vvm_spreads.find(node);
+                const double spread =
+                    vit != cg->vvm_spreads.end()
+                        ? static_cast<double>(vit->second)
+                        : 1.0;
+                if (options.mvm_pipeline && it->grid.vxbCount() > 1) {
+                    stage.fill_fraction /=
+                        static_cast<double>(it->grid.tiles_c);
+                }
+                if (it->fill_fraction < 1.0)
+                    stage.fill_fraction /= spread;
+                else
+                    stage.fill_fraction = 1.0;
+            }
+            stages.push_back(stage);
+        }
+        const SegmentLatency latency = segmentLatency(stages);
+        segment.bottleneck_cycles = latency.bottleneck;
+        segment.latency_cycles = options.cg_pipeline ? latency.pipelined
+                                                     : latency.serial;
+    }
+    return Status::ok();
+}
+
+} // namespace cimmlc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * VVM-grained optimization (Section 3.3.4, Figure 14): the data
+ * remapping strategy for wordline-mode CIMs.
+ *
+ * When only `parallel_row` wordlines can fire per cycle, an MVM whose
+ * matrix occupies more rows needs ceil(rows/parallel_row) serial row
+ * groups. The remap distributes the rows feeding one accumulation across
+ * `spread` crossbars so groups run concurrently and the partial sums are
+ * combined digitally — turning serial group activations into parallel
+ * ones and tightening the inter-operator pipeline.
+ */
+#ifndef CIMMLC_SCHED_VVM_H
+#define CIMMLC_SCHED_VVM_H
+
+#include <cstdint>
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/cg.h"
+#include "sched/options.h"
+
+namespace cimmlc {
+
+/** Remap plan for one operator. */
+struct VvmDecision {
+    //! serial row groups before remapping
+    std::int64_t row_groups = 1;
+    //! crossbars one group-set is spread over (1 = no remap)
+    std::int64_t spread = 1;
+    //! serial row groups after remapping
+    std::int64_t remapped_groups = 1;
+};
+
+/**
+ * Picks the remap spread for one operator: bounded by the serial group
+ * count (no point spreading further) and by the spare-crossbar ratio in
+ * the cores the operator occupies.
+ */
+VvmDecision chooseVvmSpread(std::int64_t rows_used,
+                            std::int64_t parallel_row,
+                            std::int64_t used_xbs_per_core,
+                            std::int64_t xbs_per_core);
+
+/**
+ * Applies the VVM level on top of CG+MVM results: recomputes per-window
+ * cycles with the remap spread, then refreshes stage latencies, segment
+ * latencies, and activation statistics.
+ */
+Status runVvmOptimization(const Graph &graph, const CimArchitecture &arch,
+                          const ScheduleOptions &options, CgResult *cg);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_VVM_H

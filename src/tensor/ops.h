@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reference operator implementations over quantized tensors.
+ *
+ * These are the oracle the functional simulator is verified against
+ * (the role PyTorch plays in the paper, Section 4.1). All CIM-mapped
+ * operators use exact int32 accumulation over int8 operands so the
+ * crossbar simulation can be compared bit-for-bit. Digital operators
+ * that run on the tier ALUs (softmax, layernorm, gelu) are float and
+ * are shared verbatim by the simulator, keeping equality exact there
+ * too.
+ */
+#ifndef CIMMLC_TENSOR_OPS_H
+#define CIMMLC_TENSOR_OPS_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace cimmlc::ops {
+
+/**
+ * im2col expansion: one row per output spatial position, one column per
+ * (input channel, kh, kw) weight element. Zero padding is materialized.
+ * Output shape: [N * outH * outW, C * kh * kw].
+ */
+Int8Tensor im2col(const Int8Tensor &input, std::int64_t kernel_h,
+                  std::int64_t kernel_w, std::int64_t stride,
+                  std::int64_t padding);
+
+/** conv2d, NCHW x OIHW -> NCHW int32 accumulators. */
+Int32Tensor conv2d(const Int8Tensor &input, const Int8Tensor &weight,
+                   std::int64_t stride, std::int64_t padding);
+
+/** conv2d via explicit im2col + matmul; must equal conv2d(). */
+Int32Tensor conv2dIm2col(const Int8Tensor &input, const Int8Tensor &weight,
+                         std::int64_t stride, std::int64_t padding);
+
+/** linear layer: [N, F] x [O, F]^T -> [N, O] int32. */
+Int32Tensor linear(const Int8Tensor &input, const Int8Tensor &weight);
+
+/** matmul: [M, K] x [K, N] -> [M, N] int32. */
+Int32Tensor matmul(const Int8Tensor &a, const Int8Tensor &b);
+
+/** Adds per-channel bias to a conv output (NCHW). */
+void addBiasNchw(Int32Tensor *acc, const Int32Tensor &bias);
+
+/** Elementwise max(v, 0). */
+Int32Tensor relu(const Int32Tensor &input);
+Int8Tensor relu(const Int8Tensor &input);
+
+/** Elementwise sum; shapes must match. */
+Int32Tensor add(const Int32Tensor &a, const Int32Tensor &b);
+Int8Tensor addSaturating(const Int8Tensor &a, const Int8Tensor &b);
+
+/** 2-d max pooling over NCHW int8. */
+Int8Tensor maxPool2d(const Int8Tensor &input, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t padding);
+
+/** 2-d average pooling (accumulate int32, round-half-up divide). */
+Int8Tensor avgPool2d(const Int8Tensor &input, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t padding);
+
+/** Global average pool to [N, C, 1, 1]. */
+Int8Tensor globalAvgPool(const Int8Tensor &input);
+
+/** Float digital ops shared with the simulator's ALU model. */
+FloatTensor softmax(const FloatTensor &input);     //!< over last dim
+FloatTensor layerNorm(const FloatTensor &input);   //!< over last dim
+FloatTensor gelu(const FloatTensor &input);        //!< tanh approximation
+
+} // namespace cimmlc::ops
+
+#endif // CIMMLC_TENSOR_OPS_H

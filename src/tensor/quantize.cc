@@ -1,0 +1,68 @@
+#include "tensor/quantize.h"
+
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace cimmlc {
+
+std::int32_t
+shiftRound(std::int32_t value, int shift)
+{
+    if (shift <= 0)
+        return value;
+    const std::int32_t bias = 1 << (shift - 1);
+    if (value >= 0)
+        return (value + bias) >> shift;
+    return -((-value + bias) >> shift);
+}
+
+Int8Tensor
+requantize(const Int32Tensor &acc, const RequantParams &params)
+{
+    Int8Tensor out(acc.shape());
+    for (std::int64_t i = 0; i < acc.numel(); ++i) {
+        const std::int32_t scaled = shiftRound(acc[i], params.shift);
+        out[i] = static_cast<std::int8_t>(clampInt(scaled, -128, 127));
+    }
+    return out;
+}
+
+RequantParams
+chooseRequantShift(const Int32Tensor &acc)
+{
+    std::int64_t max_abs = 0;
+    for (std::int64_t i = 0; i < acc.numel(); ++i) {
+        const std::int64_t v = std::abs(
+            static_cast<std::int64_t>(acc[i]));
+        max_abs = std::max(max_abs, v);
+    }
+    RequantParams params;
+    params.shift = 0;
+    while ((max_abs >> params.shift) > 127)
+        ++params.shift;
+    return params;
+}
+
+Int8Tensor
+quantizeFloat(const FloatTensor &input, float scale)
+{
+    Int8Tensor out(input.shape());
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        const std::int64_t q =
+            static_cast<std::int64_t>(std::lround(input[i] / scale));
+        out[i] = static_cast<std::int8_t>(clampInt(q, -128, 127));
+    }
+    return out;
+}
+
+FloatTensor
+dequantize(const Int8Tensor &input, float scale)
+{
+    FloatTensor out(input.shape());
+    for (std::int64_t i = 0; i < input.numel(); ++i)
+        out[i] = static_cast<float>(input[i]) * scale;
+    return out;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Symmetric 8-bit quantization helpers.
+ *
+ * The paper quantizes all weights and activations to 8 bits (Section 4.1).
+ * Between CIM-mapped layers the int32 accumulators are requantized back to
+ * int8. We use power-of-two scaling (arithmetic right shift with
+ * round-half-away-from-zero) so the functional simulator and the reference
+ * oracle agree bit-exactly without floating-point rounding concerns.
+ */
+#ifndef CIMMLC_TENSOR_QUANTIZE_H
+#define CIMMLC_TENSOR_QUANTIZE_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace cimmlc {
+
+/** Requantization parameters: out = clamp((acc + round) >> shift). */
+struct RequantParams {
+    int shift = 8; //!< right-shift amount; 0 disables scaling
+
+    bool operator==(const RequantParams &other) const = default;
+};
+
+/** Right-shift with round-half-away-from-zero semantics. */
+std::int32_t shiftRound(std::int32_t value, int shift);
+
+/** Requantizes an int32 accumulator tensor to int8. */
+Int8Tensor requantize(const Int32Tensor &acc, const RequantParams &params);
+
+/** Picks a shift so the max |acc| lands inside int8 after shifting. */
+RequantParams chooseRequantShift(const Int32Tensor &acc);
+
+/** Float -> int8 with symmetric scale (for ViT float segments). */
+Int8Tensor quantizeFloat(const FloatTensor &input, float scale);
+
+/** int8 -> float with symmetric scale. */
+FloatTensor dequantize(const Int8Tensor &input, float scale);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_TENSOR_QUANTIZE_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dense tensor container used by the reference operators (the "PyTorch"
+ * oracle of the paper's functional verification) and by the functional
+ * simulator.
+ */
+#ifndef CIMMLC_TENSOR_TENSOR_H
+#define CIMMLC_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace cimmlc {
+
+/**
+ * Row-major dense tensor over element type T.
+ *
+ * Value semantics: copies are deep. The accessor family mirrors the NCHW
+ * layout convention; flat indexing is available for kernels that have
+ * already linearized their loops.
+ */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(TensorShape shape)
+        : shape_(std::move(shape)),
+          data_(static_cast<std::size_t>(shape_.numel()), T{})
+    {
+        CIMMLC_CHECK(shape_.isValid())
+            << "invalid tensor shape " << shape_.toString();
+    }
+
+    Tensor(TensorShape shape, std::vector<T> data)
+        : shape_(std::move(shape)), data_(std::move(data))
+    {
+        CIMMLC_CHECK_EQ(static_cast<std::int64_t>(data_.size()),
+                        shape_.numel())
+            << "data size does not match shape " << shape_.toString();
+    }
+
+    const TensorShape &shape() const { return shape_; }
+    std::int64_t numel() const { return shape_.numel(); }
+    const std::vector<T> &data() const { return data_; }
+    std::vector<T> &data() { return data_; }
+
+    T operator[](std::int64_t flat) const
+    {
+        return data_[static_cast<std::size_t>(flat)];
+    }
+    T &operator[](std::int64_t flat)
+    {
+        return data_[static_cast<std::size_t>(flat)];
+    }
+
+    /** 2-d accessor for [rows, cols] tensors. */
+    T
+    at2(std::int64_t r, std::int64_t c) const
+    {
+        return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+    }
+    T &
+    at2(std::int64_t r, std::int64_t c)
+    {
+        return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+    }
+
+    /** 4-d accessor for NCHW / OIHW tensors. */
+    T
+    at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const
+    {
+        return data_[flatIndex4(n, c, h, w)];
+    }
+    T &
+    at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+    {
+        return data_[flatIndex4(n, c, h, w)];
+    }
+
+    /** Fills every element with @p value. */
+    void
+    fill(T value)
+    {
+        for (T &v : data_)
+            v = value;
+    }
+
+    /** Fills with deterministic pseudo-random values in [lo, hi]. */
+    void
+    fillRandom(Rng &rng, std::int64_t lo, std::int64_t hi)
+    {
+        for (T &v : data_)
+            v = static_cast<T>(rng.uniformInt(lo, hi));
+    }
+
+    bool
+    operator==(const Tensor &other) const
+    {
+        return shape_ == other.shape_ && data_ == other.data_;
+    }
+
+  private:
+    std::size_t
+    flatIndex4(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w) const
+    {
+        const std::int64_t C = shape_.dim(1);
+        const std::int64_t H = shape_.dim(2);
+        const std::int64_t W = shape_.dim(3);
+        return static_cast<std::size_t>(((n * C + c) * H + h) * W + w);
+    }
+
+    TensorShape shape_;
+    std::vector<T> data_;
+};
+
+using Int8Tensor = Tensor<std::int8_t>;
+using Int32Tensor = Tensor<std::int32_t>;
+using FloatTensor = Tensor<float>;
+
+} // namespace cimmlc
+
+#endif // CIMMLC_TENSOR_TENSOR_H

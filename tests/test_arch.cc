@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the hardware abstraction: tier parameters, validation,
+ * presets (checked against the paper's Tables 2-3 and Figures 17-19),
+ * NoC models, device profiles, and config serialization.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/arch.h"
+#include "arch/device.h"
+#include "arch/noc.h"
+#include "arch/presets.h"
+#include "arch/serialize.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(ArchTest, DerivedQuantities)
+{
+    CimArchitecture arch = presets::isaacBaseline();
+    EXPECT_EQ(arch.chip.coreNumber(), 768);
+    EXPECT_EQ(arch.core.xbNumber(), 16);
+    EXPECT_EQ(arch.totalCrossbars(), 768 * 16);
+    EXPECT_EQ(arch.cellsPerWeight(), 4);       // 8-bit / 2-bit cells
+    EXPECT_EQ(arch.logicalColsPerCrossbar(), 32);
+    EXPECT_EQ(arch.dacCyclesPerActivation(), 8); // 8-bit act / 1-bit DAC
+    EXPECT_EQ(arch.rowGroupsPerActivation(), 16); // 128 rows / 8 parallel
+}
+
+TEST(ArchTest, ValidateCatchesBadParallelRow)
+{
+    CimArchitecture arch = presets::isaacBaseline();
+    arch.xbar.parallel_row = 0;
+    EXPECT_FALSE(arch.validate().isOk());
+    arch.xbar.parallel_row = arch.xbar.rows + 1;
+    EXPECT_FALSE(arch.validate().isOk());
+}
+
+TEST(ArchTest, ValidateCatchesTooWideWeight)
+{
+    CimArchitecture arch = presets::isaacBaseline();
+    arch.xbar.cols = 2;
+    arch.xbar.cell_bits = 1; // needs 8 cells per weight > 2 cols
+    EXPECT_FALSE(arch.validate().isOk());
+}
+
+TEST(ArchTest, ValidateCatchesBadNocMatrix)
+{
+    CimArchitecture arch = presets::isaacBaseline();
+    arch.chip.core_noc_cost = {1.0, 2.0}; // must be 768^2
+    EXPECT_FALSE(arch.validate().isOk());
+}
+
+TEST(ArchTest, ValidateAcceptsPresets)
+{
+    for (const std::string &name : presets::availablePresets()) {
+        auto arch = presets::byName(name);
+        ASSERT_TRUE(arch.isOk()) << name;
+        EXPECT_TRUE(arch.value().validate().isOk()) << name;
+    }
+}
+
+TEST(ArchTest, WeightsStationaryFollowsDevice)
+{
+    CimArchitecture arch = presets::isaacBaseline();
+    EXPECT_TRUE(arch.weightsStationary()); // ReRAM
+    arch.xbar.cell_type = CellType::kSram;
+    EXPECT_FALSE(arch.weightsStationary());
+}
+
+TEST(ArchTest, EnumParsersRoundTrip)
+{
+    EXPECT_EQ(parseComputeMode("wlm").value(), ComputeMode::kWLM);
+    EXPECT_EQ(parseComputeMode("XBM").value(), ComputeMode::kXBM);
+    EXPECT_FALSE(parseComputeMode("qqq").isOk());
+    EXPECT_EQ(parseNocType("mesh").value(), NocType::kMesh);
+    EXPECT_EQ(parseNocType("\\").value(), NocType::kIdeal);
+    EXPECT_FALSE(parseNocType("torus").isOk());
+    EXPECT_EQ(parseCellType("RRAM").value(), CellType::kReram);
+    EXPECT_EQ(parseCellType("stt-mram").value(), CellType::kSttMram);
+    EXPECT_FALSE(parseCellType("dna").isOk());
+}
+
+// ----- presets vs paper tables ------------------------------------------
+
+TEST(PresetTest, IsaacBaselineMatchesTable3)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    EXPECT_EQ(arch.chip.coreNumber(), 768);
+    EXPECT_EQ(arch.core.xbNumber(), 16);
+    EXPECT_EQ(arch.xbar.rows, 128);
+    EXPECT_EQ(arch.xbar.cols, 128);
+    EXPECT_EQ(arch.xbar.parallel_row, 8);
+    EXPECT_EQ(arch.xbar.dac_bits, 1);
+    EXPECT_EQ(arch.xbar.adc_bits, 8);
+    EXPECT_EQ(arch.xbar.cell_type, CellType::kReram);
+    EXPECT_EQ(arch.xbar.cell_bits, 2);
+    EXPECT_DOUBLE_EQ(arch.chip.alu_ops_per_cycle, 1024.0);
+    EXPECT_DOUBLE_EQ(arch.chip.l0_bandwidth, 384.0);
+    EXPECT_DOUBLE_EQ(arch.core.l1_bandwidth, 8192.0);
+}
+
+TEST(PresetTest, JiaMatchesFigure17)
+{
+    const CimArchitecture arch = presets::jiaIsscc21();
+    EXPECT_EQ(arch.mode, ComputeMode::kCM);
+    EXPECT_EQ(arch.chip.coreNumber(), 16);
+    EXPECT_EQ(arch.chip.core_noc, NocType::kDisjointBufferSwitch);
+    EXPECT_EQ(arch.core.xbNumber(), 1);
+    EXPECT_EQ(arch.xbar.rows, 1152);
+    EXPECT_EQ(arch.xbar.cols, 256);
+    EXPECT_EQ(arch.xbar.parallel_row, 1152);
+    EXPECT_EQ(arch.xbar.cell_type, CellType::kSram);
+    EXPECT_EQ(arch.xbar.cell_bits, 1);
+}
+
+TEST(PresetTest, PumaMatchesFigure18)
+{
+    const CimArchitecture arch = presets::puma();
+    EXPECT_EQ(arch.mode, ComputeMode::kXBM);
+    EXPECT_EQ(arch.chip.coreNumber(), 138);
+    EXPECT_EQ(arch.chip.core_noc, NocType::kMesh);
+    EXPECT_DOUBLE_EQ(arch.chip.l0_size_kib, 96.0);
+    EXPECT_EQ(arch.core.xbNumber(), 2);
+    EXPECT_DOUBLE_EQ(arch.core.l1_size_kib, 1.0);
+    EXPECT_EQ(arch.xbar.rows, 128);
+    EXPECT_EQ(arch.xbar.parallel_row, 128);
+    EXPECT_EQ(arch.xbar.cell_type, CellType::kReram);
+}
+
+TEST(PresetTest, JainMatchesFigure19)
+{
+    const CimArchitecture arch = presets::jainJssc21();
+    EXPECT_EQ(arch.mode, ComputeMode::kWLM);
+    EXPECT_EQ(arch.chip.coreNumber(), 4);
+    EXPECT_EQ(arch.core.xbNumber(), 2);
+    EXPECT_EQ(arch.xbar.rows, 256);
+    EXPECT_EQ(arch.xbar.cols, 64);
+    EXPECT_EQ(arch.xbar.parallel_row, 32);
+    EXPECT_EQ(arch.xbar.adc_bits, 6);
+    EXPECT_EQ(arch.xbar.cell_type, CellType::kSram);
+}
+
+TEST(PresetTest, TutorialMatchesTable2)
+{
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kWLM);
+    EXPECT_EQ(arch.chip.coreNumber(), 2);
+    EXPECT_EQ(arch.core.xbNumber(), 2);
+    EXPECT_EQ(arch.xbar.rows, 32);
+    EXPECT_EQ(arch.xbar.cols, 128);
+    EXPECT_EQ(arch.xbar.parallel_row, 16);
+    EXPECT_EQ(arch.xbar.cell_bits, 2);
+}
+
+TEST(PresetTest, ByNameAliases)
+{
+    EXPECT_TRUE(presets::byName("isaac").isOk());
+    EXPECT_TRUE(presets::byName("PUMA").isOk());
+    EXPECT_FALSE(presets::byName("tpu").isOk());
+}
+
+// ----- NoC models --------------------------------------------------------
+
+TEST(NocTest, MeshHopsAreManhattan)
+{
+    NocModel mesh(NocType::kMesh, 4, 4, 32.0);
+    EXPECT_EQ(mesh.hopCount(0, 0), 0);
+    EXPECT_EQ(mesh.hopCount(0, 3), 3);
+    EXPECT_EQ(mesh.hopCount(0, 15), 6);
+    EXPECT_EQ(mesh.diameter(), 6);
+}
+
+TEST(NocTest, BusIsSingleHop)
+{
+    NocModel bus(NocType::kSharedBus, 1, 8, 64.0);
+    EXPECT_EQ(bus.hopCount(0, 7), 1);
+    EXPECT_EQ(bus.diameter(), 1);
+}
+
+TEST(NocTest, HTreeHopsGrowLogarithmically)
+{
+    NocModel tree(NocType::kHTree, 1, 8, 64.0);
+    EXPECT_EQ(tree.hopCount(0, 1), 2);
+    EXPECT_EQ(tree.hopCount(0, 7), 6);
+    EXPECT_LE(tree.diameter(), 6);
+}
+
+TEST(NocTest, IdealIsFree)
+{
+    NocModel ideal(NocType::kIdeal, 2, 2, 0.0);
+    EXPECT_DOUBLE_EQ(ideal.transferCycles(0, 3, 1024.0), 0.0);
+}
+
+TEST(NocTest, TransferSerializationDominates)
+{
+    NocModel mesh(NocType::kMesh, 2, 2, 32.0);
+    const double cycles = mesh.transferCycles(0, 3, 3200.0);
+    EXPECT_NEAR(cycles, 3200.0 / 32.0 + 2.0, 1e-9);
+}
+
+TEST(NocTest, CostMatrixOverride)
+{
+    std::vector<double> matrix(4, 0.0);
+    matrix[0 * 2 + 1] = 0.5; // src 0 -> dst 1: half a cycle per bit
+    NocModel noc(NocType::kMesh, 1, 2, 32.0, matrix);
+    EXPECT_DOUBLE_EQ(noc.transferCycles(0, 1, 100.0), 50.0);
+}
+
+// ----- device profiles ----------------------------------------------------
+
+TEST(DeviceTest, WriteAsymmetryOrdering)
+{
+    EXPECT_LT(deviceProfile(CellType::kSram).write_latency_cycles,
+              deviceProfile(CellType::kReram).write_latency_cycles);
+    EXPECT_LT(deviceProfile(CellType::kReram).write_latency_cycles,
+              deviceProfile(CellType::kFlash).write_latency_cycles);
+}
+
+TEST(DeviceTest, NvmIsWeightsStationary)
+{
+    EXPECT_FALSE(deviceProfile(CellType::kSram).weights_stationary);
+    EXPECT_TRUE(deviceProfile(CellType::kReram).weights_stationary);
+    EXPECT_TRUE(deviceProfile(CellType::kFlash).weights_stationary);
+}
+
+TEST(DeviceTest, AdcEnergyScalesExponentially)
+{
+    EXPECT_NEAR(adcEnergyPj(9) / adcEnergyPj(8), 2.0, 1e-9);
+    EXPECT_NEAR(adcEnergyPj(6) / adcEnergyPj(8), 0.25, 1e-9);
+}
+
+// ----- serialization -------------------------------------------------------
+
+TEST(SerializeTest, RoundTripPreservesEveryPreset)
+{
+    for (const std::string &name : presets::availablePresets()) {
+        const CimArchitecture original =
+            presets::byName(name).value();
+        const ConfigValue doc = archToConfig(original);
+        auto restored = archFromConfig(doc);
+        ASSERT_TRUE(restored.isOk()) << name;
+        const CimArchitecture &r = restored.value();
+        EXPECT_EQ(r.mode, original.mode) << name;
+        EXPECT_EQ(r.chip.coreNumber(), original.chip.coreNumber());
+        EXPECT_EQ(r.core.xbNumber(), original.core.xbNumber());
+        EXPECT_EQ(r.xbar.rows, original.xbar.rows);
+        EXPECT_EQ(r.xbar.cols, original.xbar.cols);
+        EXPECT_EQ(r.xbar.parallel_row, original.xbar.parallel_row);
+        EXPECT_EQ(r.xbar.cell_type, original.xbar.cell_type);
+        EXPECT_EQ(r.xbar.cell_bits, original.xbar.cell_bits);
+    }
+}
+
+TEST(SerializeTest, ParsesHandWrittenConfig)
+{
+    auto arch = archFromText(R"({
+        "name": "custom",
+        "computing_mode": "WLM",
+        "chip_tier": {"core_number": 8, "core_noc": "mesh"},
+        "core_tier": {"xb_grid": [2, 2]},
+        "xb_tier": {
+            "xb_size": [64, 64], "parallel_row": 16,
+            "dac": 2, "adc": 6, "type": "SRAM", "precision": 1
+        }
+    })");
+    ASSERT_TRUE(arch.isOk()) << arch.status().toString();
+    EXPECT_EQ(arch.value().chip.coreNumber(), 8);
+    EXPECT_EQ(arch.value().core.xbNumber(), 4);
+    EXPECT_EQ(arch.value().xbar.parallel_row, 16);
+    EXPECT_EQ(arch.value().xbar.dac_bits, 2);
+}
+
+TEST(SerializeTest, RejectsInvalidConfigs)
+{
+    EXPECT_FALSE(archFromText("[]").isOk());
+    EXPECT_FALSE(archFromText(R"({"computing_mode": "ZZZ"})").isOk());
+    EXPECT_FALSE(archFromText(R"({
+        "xb_tier": {"xb_size": [0, 64]}
+    })").isOk());
+}
+
+} // namespace
+} // namespace cimmlc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the baseline compilers: Poly-Schedule's greedy behaviour and
+ * the ordering invariants the paper's comparisons rest on
+ * (no-opt >= Poly-Schedule >= CIM-MLC in latency; vendor flows behave
+ * like their published policies).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "baselines/poly_schedule.h"
+#include "baselines/vendor.h"
+#include "graph/models.h"
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(PolyScheduleTest, ProducesValidSchedule)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto result = polySchedule(g, arch);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const Schedule &s = result.value().schedule;
+    EXPECT_GT(s.total_latency_cycles, 0.0);
+    EXPECT_EQ(s.ops.size(), g.nodeCount());
+    for (const Segment &segment : s.segments)
+        EXPECT_LE(segment.cores_used, arch.chip.coreNumber());
+    EXPECT_GT(result.value().batch_interval_cycles, 0.0);
+}
+
+TEST(PolyScheduleTest, GreedyDuplicationHelps)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto none = noOptSchedule(g, arch);
+    auto poly = polySchedule(g, arch);
+    ASSERT_TRUE(none.isOk() && poly.isOk());
+    EXPECT_LT(poly.value().schedule.total_latency_cycles,
+              none.value().total_latency_cycles);
+}
+
+TEST(PolyScheduleTest, BatchIntervalBeatsPerImageLatency)
+{
+    // The batch pipeline's steady-state interval is at most the
+    // per-image latency (different images overlap).
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto poly = polySchedule(g, arch);
+    ASSERT_TRUE(poly.isOk());
+    EXPECT_LE(poly.value().batch_interval_cycles,
+              poly.value().schedule.total_latency_cycles);
+}
+
+class OrderingTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(OrderingTest, CimMlcBeatsPolyBeatsNoOpt)
+{
+    const Graph g = models::byName(GetParam());
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto none = noOptSchedule(g, arch);
+    auto poly = polySchedule(g, arch);
+    auto ours = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(none.isOk() && poly.isOk() && ours.isOk());
+    const double l_none = none.value().total_latency_cycles;
+    const double l_poly = poly.value().schedule.total_latency_cycles;
+    const double l_ours = ours.value().total_latency_cycles;
+    EXPECT_LE(l_poly, l_none * 1.0001) << GetParam();
+    EXPECT_LE(l_ours, l_poly * 1.0001) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, OrderingTest,
+                         testing::Values("resnet18", "resnet50",
+                                         "vgg11", "vgg16"));
+
+TEST(VendorTest, JiaIsUnoptimized)
+{
+    const Graph g = models::vgg11();
+    const CimArchitecture arch = presets::jiaIsscc21();
+    auto vendor = jiaVendorSchedule(g, arch);
+    auto none = noOptSchedule(g, arch);
+    ASSERT_TRUE(vendor.isOk() && none.isOk());
+    EXPECT_DOUBLE_EQ(vendor.value().total_latency_cycles,
+                     none.value().total_latency_cycles);
+}
+
+TEST(VendorTest, PumaPipelinesButDoesNotStagger)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::puma();
+    auto vendor = pumaVendorSchedule(g, arch);
+    ASSERT_TRUE(vendor.isOk());
+    EXPECT_TRUE(vendor.value().options.cg_pipeline);
+    EXPECT_TRUE(vendor.value().options.cg_duplication);
+    EXPECT_FALSE(vendor.value().options.mvm_pipeline);
+    // Staggering off means peak activation equals the mapped total in
+    // the busiest segment.
+    auto ours = scheduleGraph(g, arch, ScheduleOptions::cgMvm());
+    ASSERT_TRUE(ours.isOk());
+    EXPECT_LE(ours.value().peak_active_xbs,
+              vendor.value().peak_active_xbs);
+}
+
+TEST(VendorTest, JainVendorIsSerial)
+{
+    const Graph g = models::macroCnn();
+    const CimArchitecture arch = presets::jainJssc21();
+    auto vendor = jainVendorSchedule(g, arch);
+    ASSERT_TRUE(vendor.isOk());
+    for (const OperatorMapping &m : vendor.value().ops) {
+        EXPECT_EQ(m.duplication, 1);
+        EXPECT_EQ(m.vvm_spread, 1);
+    }
+}
+
+TEST(PolyScheduleTest, ChipExceedingOperatorSerializesForBoth)
+{
+    // A single operator larger than the whole chip executes in serial
+    // chunks with reprogramming; both compilers survive it, and neither
+    // can duplicate it.
+    Graph g("huge");
+    TensorId in = g.addInput("in", {1, 25088});
+    g.markOutput(g.linear(in, 4096));
+    const CimArchitecture arch = presets::puma();
+    auto poly = polySchedule(g, arch);
+    auto ours = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(poly.isOk() && ours.isOk());
+    EXPECT_EQ(poly.value().schedule.ops.at(1).duplication, 1);
+    EXPECT_GT(ours.value().ops.at(1).chip_splits, 1);
+}
+
+} // namespace
+} // namespace cimmlc

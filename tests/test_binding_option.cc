@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the dimension-binding schedule option (Figure 7): scheduling
+ * with bit-plane crossbars, its structural consequences, and the codegen
+ * guard.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "graph/models.h"
+#include "sched/codegen.h"
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+namespace {
+
+ScheduleOptions
+bitPlaneOptions()
+{
+    ScheduleOptions options = ScheduleOptions::full();
+    options.binding = DimensionBinding::bitsToCrossbars();
+    return options;
+}
+
+TEST(BindingOptionTest, SchedulesWithBitPlanes)
+{
+    const Graph g = models::lenet5();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto schedule = scheduleGraph(g, arch, bitPlaneOptions());
+    ASSERT_TRUE(schedule.isOk()) << schedule.status().toString();
+    for (const OperatorMapping &m : schedule.value().ops) {
+        if (!m.is_cim)
+            continue;
+        EXPECT_EQ(m.grid.bit_planes, arch.cellsPerWeight());
+        // Wider logical columns per array than the default binding.
+        EXPECT_EQ(m.grid.logical_cols_per_tile, arch.xbar.cols);
+    }
+}
+
+TEST(BindingOptionTest, BitPlanesUseMoreArraysPerReplica)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto def = scheduleGraph(g, arch, ScheduleOptions::full());
+    auto planes = scheduleGraph(g, arch, bitPlaneOptions());
+    ASSERT_TRUE(def.isOk() && planes.isOk());
+    // Per-replica physical crossbars never shrink under bit planes on a
+    // 2-bit-cell chip (4 planes vs 4 bit slices packed into columns).
+    for (const OperatorMapping &m : def.value().ops) {
+        if (!m.is_cim)
+            continue;
+        const OperatorMapping &p = planes.value().mapping(m.node);
+        EXPECT_GE(p.grid.physicalCrossbars(),
+                  m.grid.physicalCrossbars() / 2)
+            << "node " << m.node;
+    }
+}
+
+TEST(BindingOptionTest, SingleBitCellsMakeBindingsEquivalent)
+{
+    // With 8-bit cells, one cell holds a full weight: both bindings
+    // degenerate to the same tiling.
+    const Graph g = models::lenet5();
+    CimArchitecture arch = presets::isaacBaseline();
+    arch.xbar.cell_bits = 8;
+    auto def = scheduleGraph(g, arch, ScheduleOptions::full());
+    auto planes = scheduleGraph(g, arch, bitPlaneOptions());
+    ASSERT_TRUE(def.isOk() && planes.isOk());
+    EXPECT_DOUBLE_EQ(def.value().total_latency_cycles,
+                     planes.value().total_latency_cycles);
+}
+
+TEST(BindingOptionTest, NarrowCoresCannotHoldOneBitPlaneVxb)
+{
+    // The Table 2 chip has 2 arrays per core but a bit-plane VXB needs
+    // 4 (8-bit weights on 2-bit cells): the MVM level rejects it.
+    const Graph g = models::convReluToy();
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kXBM);
+    auto schedule = scheduleGraph(g, arch, bitPlaneOptions());
+    EXPECT_FALSE(schedule.isOk());
+    EXPECT_EQ(schedule.status().code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(BindingOptionTest, CodegenGuardsBitPlanes)
+{
+    const Graph g = models::lenet5();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto schedule = scheduleGraph(g, arch, bitPlaneOptions());
+    ASSERT_TRUE(schedule.isOk()) << schedule.status().toString();
+    CodegenOptions codegen;
+    codegen.unroll = false;
+    auto code = generateProgram(g, arch, schedule.value(), codegen);
+    EXPECT_FALSE(code.isOk());
+    EXPECT_EQ(code.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(BindingOptionTest, OptionStringMentionsBinding)
+{
+    EXPECT_NE(bitPlaneOptions().toString().find("bits-to-xb"),
+              std::string::npos);
+    EXPECT_EQ(ScheduleOptions::full().toString().find("bits-to-xb"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace cimmlc

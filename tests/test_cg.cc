@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for CG-grained optimization: the duplication allocator (checked
+ * against brute force on small instances), segmentation behaviour, and
+ * the CG result structure.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/presets.h"
+#include "graph/models.h"
+#include "sched/cg.h"
+
+namespace cimmlc {
+namespace {
+
+// ----- allocator unit tests -------------------------------------------------
+
+TEST(AllocateDupTest, SingleStageGetsAllCores)
+{
+    const auto dup = allocateDuplication({100.0}, {1}, 8,
+                                         /*pipelined=*/false);
+    EXPECT_EQ(dup[0], 8);
+}
+
+TEST(AllocateDupTest, RespectsBudget)
+{
+    const auto dup = allocateDuplication({100.0, 100.0}, {2, 3}, 10,
+                                         /*pipelined=*/false);
+    EXPECT_LE(dup[0] * 2 + dup[1] * 3, 10);
+    EXPECT_GE(dup[0], 1);
+    EXPECT_GE(dup[1], 1);
+}
+
+TEST(AllocateDupTest, BudgetTooSmallFallsBackToOnes)
+{
+    const auto dup = allocateDuplication({10.0, 10.0}, {6, 6}, 5, true);
+    EXPECT_EQ(dup[0], 1);
+    EXPECT_EQ(dup[1], 1);
+}
+
+TEST(AllocateDupTest, PipelinedBalancesBottleneck)
+{
+    // Stage 0 is 4x slower; min-max should give it ~4x the replicas.
+    const auto dup =
+        allocateDuplication({400.0, 100.0}, {1, 1}, 10, true);
+    const double s0 = 400.0 / static_cast<double>(dup[0]);
+    const double s1 = 100.0 / static_cast<double>(dup[1]);
+    EXPECT_NEAR(s0, s1, 60.0);
+    EXPECT_LE(dup[0] + dup[1], 10);
+}
+
+TEST(AllocateDupTest, FixedStagesConsumeNoCores)
+{
+    const auto dup =
+        allocateDuplication({100.0, 50.0}, {1, 0}, 4, true);
+    EXPECT_EQ(dup[1], 1); // fixed digital stage
+    EXPECT_EQ(dup[0], 4);
+}
+
+TEST(AllocateDupTest, CapsRespected)
+{
+    const auto dup = allocateDuplication({100.0}, {1}, 16,
+                                         /*pipelined=*/false, {3});
+    EXPECT_EQ(dup[0], 3);
+}
+
+TEST(AllocateDupTest, FloorsStopWastedReplicas)
+{
+    // The stage floors at 50 cycles; beyond 2 replicas there is no gain.
+    const auto dup = allocateDuplication({100.0}, {1}, 16,
+                                         /*pipelined=*/false, {},
+                                         {50.0});
+    EXPECT_EQ(dup[0], 2);
+}
+
+/** Brute-force min-sum optimum for two stages. */
+double
+bruteForceMinSum(double l0, double l1, std::int64_t c0, std::int64_t c1,
+                 std::int64_t budget)
+{
+    double best = 1e300;
+    for (std::int64_t d0 = 1; d0 * c0 <= budget; ++d0) {
+        for (std::int64_t d1 = 1; d0 * c0 + d1 * c1 <= budget; ++d1) {
+            best = std::min(best, l0 / static_cast<double>(d0) +
+                                      l1 / static_cast<double>(d1));
+        }
+    }
+    return best;
+}
+
+class AllocatorOptimalityTest
+    : public testing::TestWithParam<std::tuple<double, double, int, int>>
+{
+};
+
+TEST_P(AllocatorOptimalityTest, GreedyMatchesBruteForceMinSum)
+{
+    const auto [l0, l1, c0, c1] = GetParam();
+    const std::int64_t budget = 12;
+    const auto dup = allocateDuplication({l0, l1},
+                                         {c0, c1}, budget, false);
+    const double achieved = l0 / static_cast<double>(dup[0]) +
+                            l1 / static_cast<double>(dup[1]);
+    const double optimal = bruteForceMinSum(l0, l1, c0, c1, budget);
+    EXPECT_NEAR(achieved, optimal, optimal * 0.05)
+        << "l0=" << l0 << " l1=" << l1 << " c0=" << c0 << " c1=" << c1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllocatorOptimalityTest,
+    testing::Values(std::make_tuple(100.0, 100.0, 1, 1),
+                    std::make_tuple(400.0, 100.0, 1, 1),
+                    std::make_tuple(100.0, 400.0, 2, 1),
+                    std::make_tuple(1000.0, 10.0, 1, 3),
+                    std::make_tuple(64.0, 512.0, 3, 2)));
+
+// ----- full CG runs -----------------------------------------------------------
+
+TEST(CgTest, SingleSegmentWhenModelFits)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto result = runCgOptimization(g, arch, ScheduleOptions::cgOnly());
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value().segments.size(), 1u);
+}
+
+TEST(CgTest, SegmentsWhenModelExceedsChip)
+{
+    const Graph g = models::vgg16();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto result = runCgOptimization(g, arch, ScheduleOptions::cgOnly());
+    ASSERT_TRUE(result.isOk());
+    EXPECT_GT(result.value().segments.size(), 1u);
+    // Later segments pay reprogramming.
+    EXPECT_DOUBLE_EQ(result.value().segments[0].reload_cycles, 0.0);
+    EXPECT_GT(result.value().segments[1].reload_cycles, 0.0);
+}
+
+TEST(CgTest, CoresStayWithinBudgetPerSegment)
+{
+    const Graph g = models::vgg16();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto result = runCgOptimization(g, arch, ScheduleOptions::cgOnly());
+    ASSERT_TRUE(result.isOk());
+    for (const Segment &segment : result.value().segments)
+        EXPECT_LE(segment.cores_used, arch.chip.coreNumber());
+}
+
+TEST(CgTest, EveryNodeGetsDecision)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto result = runCgOptimization(g, arch, ScheduleOptions::cgOnly());
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().decisions.size(), g.nodeCount());
+}
+
+TEST(CgTest, NoOptimizationMeansNoDuplication)
+{
+    const Graph g = models::resnet18();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto result = runCgOptimization(g, arch, ScheduleOptions::none());
+    ASSERT_TRUE(result.isOk());
+    for (const auto &[node, decision] : result.value().decisions)
+        EXPECT_EQ(decision.duplication, 1);
+}
+
+TEST(CgTest, DuplicationNeverSlowsDown)
+{
+    const Graph g = models::resnet34();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto none = runCgOptimization(g, arch, ScheduleOptions::none());
+    ScheduleOptions dup_only = ScheduleOptions::none();
+    dup_only.cg_duplication = true;
+    auto dup = runCgOptimization(g, arch, dup_only);
+    ASSERT_TRUE(none.isOk() && dup.isOk());
+    double t_none = 0.0, t_dup = 0.0;
+    for (const Segment &s : none.value().segments)
+        t_none += s.latency_cycles;
+    for (const Segment &s : dup.value().segments)
+        t_dup += s.latency_cycles;
+    EXPECT_LE(t_dup, t_none * 1.0001);
+}
+
+TEST(CgTest, OperatorLargerThanChipGetsSplits)
+{
+    const Graph g = models::vgg16();
+    const CimArchitecture arch = presets::puma();
+    auto result = runCgOptimization(g, arch, ScheduleOptions::cgOnly());
+    ASSERT_TRUE(result.isOk());
+    bool any_split = false;
+    for (const auto &[node, decision] : result.value().decisions)
+        any_split |= decision.chip_splits > 1;
+    EXPECT_TRUE(any_split);
+}
+
+TEST(CgTest, MoreCoresNeverHurt)
+{
+    const Graph g = models::resnet18();
+    CimArchitecture small = presets::isaacBaseline();
+    small.chip.core_rows = 16;
+    small.chip.core_cols = 16; // 256 cores
+    CimArchitecture big = presets::isaacBaseline(); // 768 cores
+    auto small_run =
+        runCgOptimization(g, small, ScheduleOptions::cgOnly());
+    auto big_run = runCgOptimization(g, big, ScheduleOptions::cgOnly());
+    ASSERT_TRUE(small_run.isOk() && big_run.isOk());
+    double t_small = 0.0, t_big = 0.0;
+    for (const Segment &s : small_run.value().segments)
+        t_small += s.latency_cycles + s.reload_cycles;
+    for (const Segment &s : big_run.value().segments)
+        t_big += s.latency_cycles + s.reload_cycles;
+    EXPECT_LE(t_big, t_small * 1.0001);
+}
+
+} // namespace
+} // namespace cimmlc

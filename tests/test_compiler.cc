@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the CimCompiler facade and the Table 1 capability probe.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "compiler/capability.h"
+#include "compiler/compiler.h"
+#include "graph/models.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(CompilerTest, CompileProducesAllArtifacts)
+{
+    CimCompiler compiler(presets::isaacBaseline());
+    auto result = compiler.compile(models::resnet18());
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const CompileResult &r = result.value();
+    EXPECT_GT(r.schedule.total_latency_cycles, 0.0);
+    EXPECT_GT(r.code.program.counts().total(), 0);
+    EXPECT_FALSE(r.code.executable); // compressed by default
+    EXPECT_GT(r.perf.energy.total(), 0.0);
+}
+
+TEST(CompilerTest, ScheduleOnlySkipsCodegen)
+{
+    CimCompiler compiler(presets::isaacBaseline());
+    auto schedule = compiler.scheduleOnly(models::vgg16());
+    ASSERT_TRUE(schedule.isOk());
+    EXPECT_GT(schedule.value().total_latency_cycles, 0.0);
+}
+
+TEST(CompilerTest, OptionsSelectAblationLevel)
+{
+    CimCompiler compiler(presets::isaacBaseline(),
+                         ScheduleOptions::none());
+    auto slow = compiler.scheduleOnly(models::resnet18());
+    compiler.setOptions(ScheduleOptions::full());
+    auto fast = compiler.scheduleOnly(models::resnet18());
+    ASSERT_TRUE(slow.isOk() && fast.isOk());
+    EXPECT_LT(fast.value().total_latency_cycles,
+              slow.value().total_latency_cycles);
+}
+
+TEST(CapabilityTest, PriorWorkRowsMatchTable1)
+{
+    const auto rows = priorWorkCapabilities();
+    ASSERT_EQ(rows.size(), 5u);
+    // PUMA: ReRAM only, MVM only.
+    EXPECT_FALSE(rows[0].sram);
+    EXPECT_TRUE(rows[0].reram);
+    EXPECT_FALSE(rows[0].vvm);
+    EXPECT_TRUE(rows[0].mvm);
+    // OCC supports SRAM and VVM but not DNN-operator granularity.
+    EXPECT_TRUE(rows[4].sram);
+    EXPECT_TRUE(rows[4].vvm);
+    EXPECT_FALSE(rows[4].dnn_operator);
+}
+
+TEST(CapabilityTest, ProbeDemonstratesFullGenerality)
+{
+    auto ours = probeCimMlc();
+    ASSERT_TRUE(ours.isOk()) << ours.status().toString();
+    EXPECT_TRUE(ours.value().sram);
+    EXPECT_TRUE(ours.value().reram);
+    EXPECT_TRUE(ours.value().misc);
+    EXPECT_TRUE(ours.value().vvm);
+    EXPECT_TRUE(ours.value().mvm);
+    EXPECT_TRUE(ours.value().dnn_operator);
+}
+
+TEST(CapabilityTest, TableRendersAllRows)
+{
+    auto table = renderCapabilityTable();
+    ASSERT_TRUE(table.isOk());
+    EXPECT_NE(table.value().find("CIM-MLC (ours)"), std::string::npos);
+    EXPECT_NE(table.value().find("PUMA"), std::string::npos);
+    EXPECT_NE(table.value().find("Polyhedral"), std::string::npos);
+}
+
+} // namespace
+} // namespace cimmlc

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the graph IR: builders, shape inference, topological order,
+ * validation, analysis queries, and the model zoo (parameter counts are
+ * checked against the published architectures).
+ */
+#include <gtest/gtest.h>
+
+#include "graph/analysis.h"
+#include "graph/graph.h"
+#include "graph/models.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(GraphTest, BuildConvChainInfersShapes)
+{
+    Graph g("t");
+    TensorId x = g.addInput("in", {1, 3, 32, 32});
+    x = g.conv2d(x, 16, 3, 1, 1);
+    EXPECT_EQ(g.tensor(x).dims, (std::vector<std::int64_t>{1, 16, 32, 32}));
+    x = g.maxPool2d(x, 2, 2);
+    EXPECT_EQ(g.tensor(x).dims, (std::vector<std::int64_t>{1, 16, 16, 16}));
+    x = g.flatten(x);
+    EXPECT_EQ(g.tensor(x).dims, (std::vector<std::int64_t>{1, 4096}));
+    x = g.linear(x, 10);
+    EXPECT_EQ(g.tensor(x).dims, (std::vector<std::int64_t>{1, 10}));
+}
+
+TEST(GraphTest, ProducersAndConsumersTracked)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 4});
+    TensorId a = g.relu(in);
+    TensorId b = g.relu(in);
+    TensorId c = g.add(a, b);
+    EXPECT_EQ(g.tensor(in).consumers.size(), 2u);
+    EXPECT_EQ(g.tensor(a).producer, 1);
+    EXPECT_EQ(g.tensor(c).producer, 3);
+}
+
+TEST(GraphTest, TopoOrderRespectsDependencies)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 4});
+    TensorId a = g.relu(in);
+    TensorId b = g.gelu(in);
+    g.markOutput(g.add(a, b));
+    const auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), g.nodeCount());
+    std::vector<int> position(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        position[static_cast<std::size_t>(order[i])] =
+            static_cast<int>(i);
+    for (const Node &n : g.nodes()) {
+        for (TensorId input : n.inputs) {
+            const NodeId producer = g.tensor(input).producer;
+            EXPECT_LT(position[static_cast<std::size_t>(producer)],
+                      position[static_cast<std::size_t>(n.id)]);
+        }
+    }
+}
+
+TEST(GraphTest, ValidateRequiresOutputs)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 4});
+    g.relu(in);
+    EXPECT_FALSE(g.validate().isOk());
+}
+
+TEST(GraphTest, ValidateOkOnCompleteGraph)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 4});
+    TensorId out = g.linear(in, 2);
+    g.markOutput(out);
+    EXPECT_TRUE(g.validate().isOk());
+}
+
+TEST(GraphTest, ResidualAddShapeChecked)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 8, 4, 4});
+    TensorId a = g.conv2d(in, 8, 3, 1, 1);
+    TensorId out = g.add(a, in);
+    EXPECT_EQ(g.tensor(out).dims, g.tensor(in).dims);
+}
+
+TEST(GraphTest, ConcatSumsChannels)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 4, 8, 8});
+    TensorId a = g.conv2d(in, 6, 1, 1, 0);
+    TensorId b = g.conv2d(in, 10, 1, 1, 0);
+    TensorId cat = g.concat({a, b});
+    EXPECT_EQ(g.tensor(cat).dims[1], 16);
+}
+
+TEST(GraphTest, ReshapePreservesElements)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 3, 4, 4});
+    TensorId r = g.reshape(in, {16, 3});
+    EXPECT_EQ(g.tensor(r).numel(), 48);
+}
+
+TEST(GraphTest, MatmulTransposeShapes)
+{
+    Graph g("t");
+    TensorId q = g.addInput("q", {16, 64});
+    TensorId k = g.addInput("k", {16, 64});
+    TensorId scores = g.matmul(q, k, 4, /*transpose_rhs=*/true);
+    EXPECT_EQ(g.tensor(scores).dims,
+              (std::vector<std::int64_t>{16, 16}));
+}
+
+TEST(GraphTest, WeightInstallAndRandomize)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 8});
+    TensorId out = g.linear(in, 4, "fc");
+    g.markOutput(out);
+    const NodeId fc = g.tensor(out).producer;
+    EXPECT_FALSE(g.hasWeight(fc));
+    Rng rng(1);
+    g.randomizeWeights(rng);
+    ASSERT_TRUE(g.hasWeight(fc));
+    EXPECT_EQ(g.weight(fc).shape(), TensorShape({4, 8}));
+}
+
+// ----- analysis -------------------------------------------------------
+
+TEST(AnalysisTest, ConvWeightMatrixShape)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 3, 32, 32});
+    TensorId out = g.conv2d(in, 32, 3, 1, 1);
+    const NodeId conv = g.tensor(out).producer;
+    const auto wm = weightMatrixShape(g, conv);
+    ASSERT_TRUE(wm.has_value());
+    EXPECT_EQ(wm->rows, 27); // 3 * 3 * 3
+    EXPECT_EQ(wm->cols, 32);
+}
+
+TEST(AnalysisTest, LinearWeightMatrixShape)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 128});
+    TensorId out = g.linear(in, 10);
+    const auto wm = weightMatrixShape(g, g.tensor(out).producer);
+    EXPECT_EQ(wm->rows, 128);
+    EXPECT_EQ(wm->cols, 10);
+}
+
+TEST(AnalysisTest, NonCimNodesHaveNoMatrix)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 8});
+    TensorId out = g.relu(in);
+    EXPECT_FALSE(
+        weightMatrixShape(g, g.tensor(out).producer).has_value());
+}
+
+TEST(AnalysisTest, MvmCountConvIsOutputSpatial)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 3, 32, 32});
+    TensorId out = g.conv2d(in, 8, 3, 2, 1);
+    EXPECT_EQ(mvmCount(g, g.tensor(out).producer), 16 * 16);
+}
+
+TEST(AnalysisTest, MvmCountLinearIsRows)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {196, 768});
+    TensorId out = g.linear(in, 768);
+    EXPECT_EQ(mvmCount(g, g.tensor(out).producer), 196);
+}
+
+TEST(AnalysisTest, MacCountConv)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 3, 32, 32});
+    TensorId out = g.conv2d(in, 32, 3, 1, 1);
+    // 1024 windows x 27 rows x 32 cols
+    EXPECT_EQ(macCount(g, g.tensor(out).producer),
+              1024LL * 27 * 32);
+}
+
+TEST(AnalysisTest, AluOpCounts)
+{
+    Graph g("t");
+    TensorId in = g.addInput("in", {1, 4, 8, 8});
+    TensorId r = g.relu(in);
+    EXPECT_EQ(aluOpCount(g, g.tensor(r).producer), 256);
+    TensorId p = g.maxPool2d(r, 2, 2);
+    EXPECT_EQ(aluOpCount(g, g.tensor(p).producer), 64 * 4);
+}
+
+// ----- model zoo -------------------------------------------------------
+
+class ModelZooTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelZooTest, BuildsAndValidates)
+{
+    const Graph g = models::byName(GetParam());
+    EXPECT_TRUE(g.validate().isOk()) << g.name();
+    EXPECT_GT(g.nodeCount(), 2u);
+    EXPECT_GT(g.totalMacs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooTest,
+                         testing::ValuesIn(models::availableModels()));
+
+TEST(ModelZooTest, ParameterCountsMatchPublishedArchitectures)
+{
+    // Weight-only counts (no biases / norm scales in this IR).
+    EXPECT_NEAR(static_cast<double>(models::resnet18().totalWeights()),
+                11.2e6, 0.6e6);
+    EXPECT_NEAR(static_cast<double>(models::resnet50().totalWeights()),
+                25.5e6, 2.0e6);
+    EXPECT_NEAR(static_cast<double>(models::resnet101().totalWeights()),
+                42.5e6, 3.0e6);
+    EXPECT_NEAR(static_cast<double>(models::vgg16().totalWeights()),
+                138.0e6, 5.0e6);
+    EXPECT_NEAR(static_cast<double>(models::vitBase().totalWeights()),
+                86.0e6, 6.0e6);
+}
+
+TEST(ModelZooTest, Vgg16HasThirteenConvsAndThreeFcs)
+{
+    const Graph g = models::vgg16();
+    int convs = 0, fcs = 0;
+    for (const Node &n : g.nodes()) {
+        convs += n.kind == OpKind::kConv2d;
+        fcs += n.kind == OpKind::kLinear;
+    }
+    EXPECT_EQ(convs, 13);
+    EXPECT_EQ(fcs, 3);
+}
+
+TEST(ModelZooTest, ResnetDepthsCount)
+{
+    auto conv_count = [](const Graph &g) {
+        int convs = 0;
+        for (const Node &n : g.nodes())
+            convs += n.kind == OpKind::kConv2d;
+        return convs;
+    };
+    // 16 residual convs + stem + 3 downsamples = 20 for ResNet18.
+    EXPECT_EQ(conv_count(models::resnet18()), 20);
+    // ResNet50: stem + 3*16 bottleneck convs + 4 downsamples = 53.
+    EXPECT_EQ(conv_count(models::resnet50()), 53);
+}
+
+TEST(ModelZooTest, VitTokensAndBlocks)
+{
+    const Graph g = models::vitBase();
+    int layernorms = 0, matmuls = 0;
+    for (const Node &n : g.nodes()) {
+        layernorms += n.kind == OpKind::kLayerNorm;
+        matmuls += n.kind == OpKind::kMatMul;
+    }
+    EXPECT_EQ(layernorms, 12 * 2 + 1);
+    EXPECT_EQ(matmuls, 12 * 2);
+}
+
+TEST(ModelZooTest, UnknownModelNameDies)
+{
+    EXPECT_EXIT(models::byName("nonexistent_net"),
+                testing::ExitedWithCode(1), "unknown model");
+}
+
+TEST(ModelZooTest, MacroCnnFitsJainMacro)
+{
+    // ~16K-weight capacity of the Jain et al. macro (Figure 19).
+    EXPECT_LT(models::macroCnn().totalWeights(), 16384);
+}
+
+TEST(ModelZooTest, SummaryMentionsEveryNode)
+{
+    const Graph g = models::lenet5();
+    const std::string summary = g.summary();
+    EXPECT_NE(summary.find("conv1"), std::string::npos);
+    EXPECT_NE(summary.find("fc3"), std::string::npos);
+}
+
+} // namespace
+} // namespace cimmlc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for graph text serialization: hand-written documents, round
+ * trips over the model zoo, and malformed-input rejection.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/models.h"
+#include "graph/reference.h"
+#include "graph/serialize.h"
+
+namespace cimmlc {
+namespace {
+
+constexpr const char *kToyText = R"({
+    "name": "toy",
+    "inputs": [{"name": "image", "dims": [1, 3, 8, 8]}],
+    "nodes": [
+        {"op": "conv2d", "name": "conv", "inputs": ["image"],
+         "out_channels": 4, "kernel": 3, "stride": 1, "padding": 1},
+        {"op": "relu", "name": "act", "inputs": ["conv"]},
+        {"op": "maxpool2d", "name": "pool", "inputs": ["act"],
+         "kernel": 2, "stride": 2},
+        {"op": "flatten", "name": "flat", "inputs": ["pool"]},
+        {"op": "linear", "name": "fc", "inputs": ["flat"],
+         "out_features": 10}
+    ],
+    "outputs": ["fc"]
+})";
+
+TEST(GraphSerializeTest, ParsesHandWrittenDocument)
+{
+    auto graph = graphFromText(kToyText);
+    ASSERT_TRUE(graph.isOk()) << graph.status().toString();
+    const Graph &g = graph.value();
+    EXPECT_EQ(g.name(), "toy");
+    EXPECT_EQ(g.nodeCount(), 6u); // input + 5 ops
+    EXPECT_TRUE(g.validate().isOk());
+    EXPECT_EQ(g.tensor(g.outputs()[0]).dims,
+              (std::vector<std::int64_t>{1, 10}));
+}
+
+TEST(GraphSerializeTest, ParsedGraphExecutes)
+{
+    auto graph_or = graphFromText(kToyText);
+    ASSERT_TRUE(graph_or.isOk());
+    Graph g = std::move(graph_or).value();
+    Rng rng(3);
+    g.randomizeWeights(rng);
+    Int8Tensor image(TensorShape({1, 3, 8, 8}));
+    image.fillRandom(rng, -10, 10);
+    auto result = runReference(g, {{g.inputs()[0], image}});
+    EXPECT_TRUE(result.isOk()) << result.status().toString();
+}
+
+class GraphRoundTripTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GraphRoundTripTest, SerializeParseSerializeIsStable)
+{
+    const Graph original = models::byName(GetParam());
+    const ConfigValue doc = graphToConfig(original);
+    auto restored = graphFromConfig(doc);
+    ASSERT_TRUE(restored.isOk())
+        << GetParam() << ": " << restored.status().toString();
+    const Graph &g = restored.value();
+    EXPECT_EQ(g.nodeCount(), original.nodeCount());
+    EXPECT_EQ(g.totalWeights(), original.totalWeights());
+    EXPECT_EQ(g.totalMacs(), original.totalMacs());
+    // Output shapes survive the trip.
+    ASSERT_EQ(g.outputs().size(), original.outputs().size());
+    for (std::size_t i = 0; i < g.outputs().size(); ++i) {
+        EXPECT_EQ(g.tensor(g.outputs()[i]).dims,
+                  original.tensor(original.outputs()[i]).dims);
+    }
+    // A second trip is byte-identical.
+    EXPECT_EQ(graphToConfig(g).dump(), doc.dump());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, GraphRoundTripTest,
+                         testing::Values("lenet5", "macro_cnn", "vgg7",
+                                         "resnet18", "vit_tiny",
+                                         "conv_relu_toy", "mlp"));
+
+TEST(GraphSerializeTest, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(graphFromText("[]").isOk());
+    EXPECT_FALSE(graphFromText(R"({"inputs": []})").isOk());
+    // Unknown op.
+    EXPECT_FALSE(graphFromText(R"({
+        "inputs": [{"name": "x", "dims": [1, 4]}],
+        "nodes": [{"op": "teleport", "inputs": ["x"]}],
+        "outputs": ["teleport_1"]
+    })").isOk());
+    // Dangling reference.
+    EXPECT_FALSE(graphFromText(R"({
+        "inputs": [{"name": "x", "dims": [1, 4]}],
+        "nodes": [{"op": "relu", "name": "r", "inputs": ["ghost"]}],
+        "outputs": ["r"]
+    })").isOk());
+    // Missing required attribute.
+    EXPECT_FALSE(graphFromText(R"({
+        "inputs": [{"name": "x", "dims": [1, 4]}],
+        "nodes": [{"op": "linear", "name": "fc", "inputs": ["x"]}],
+        "outputs": ["fc"]
+    })").isOk());
+    // Duplicate names.
+    EXPECT_FALSE(graphFromText(R"({
+        "inputs": [{"name": "x", "dims": [1, 4]}],
+        "nodes": [{"op": "relu", "name": "x", "inputs": ["x"]}],
+        "outputs": ["x"]
+    })").isOk());
+    // Unknown output.
+    EXPECT_FALSE(graphFromText(R"({
+        "inputs": [{"name": "x", "dims": [1, 4]}],
+        "nodes": [{"op": "relu", "name": "r", "inputs": ["x"]}],
+        "outputs": ["nope"]
+    })").isOk());
+}
+
+TEST(GraphSerializeTest, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "/cimmlc_graph.json";
+    ASSERT_TRUE(saveConfigFile(path, graphToConfig(models::lenet5()))
+                    .isOk());
+    auto loaded = graphFromFile(path);
+    ASSERT_TRUE(loaded.isOk()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().nodeCount(), models::lenet5().nodeCount());
+    EXPECT_FALSE(graphFromFile("/no/such/graph.json").isOk());
+}
+
+} // namespace
+} // namespace cimmlc

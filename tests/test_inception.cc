@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for branching-DAG workloads (GoogLeNet / inception): graph
+ * structure, scheduling across all presets, and end-to-end bit-exact
+ * functional verification of a concat-bearing flow — the one graph
+ * topology the chain-style CNNs do not exercise.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "common/rng.h"
+#include "funcsim/verify.h"
+#include "graph/models.h"
+#include "graph/serialize.h"
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(InceptionTest, GooglenetStructure)
+{
+    const Graph g = models::googlenet();
+    EXPECT_TRUE(g.validate().isOk());
+    int concats = 0, convs = 0;
+    for (const Node &n : g.nodes()) {
+        concats += n.kind == OpKind::kConcat;
+        convs += n.kind == OpKind::kConv2d;
+    }
+    EXPECT_EQ(concats, 9);  // nine inception modules
+    EXPECT_EQ(convs, 3 + 9 * 6); // stem + six convs per module
+    // GoogLeNet v1 is famously compact: ~6M weights.
+    EXPECT_NEAR(static_cast<double>(g.totalWeights()), 6.0e6, 1.5e6);
+}
+
+TEST(InceptionTest, BranchOutputsConcatToExpectedChannels)
+{
+    const Graph g = models::googlenet();
+    // Inception 3a concatenates 64 + 128 + 32 + 32 = 256 channels.
+    for (const Node &n : g.nodes()) {
+        if (n.kind == OpKind::kConcat && n.name == "i3a_concat") {
+            EXPECT_EQ(g.tensor(n.output).dims[1], 256);
+            return;
+        }
+    }
+    FAIL() << "i3a_concat not found";
+}
+
+class InceptionScheduleTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(InceptionScheduleTest, SchedulesOnEveryPreset)
+{
+    const Graph g = models::googlenet();
+    const CimArchitecture arch = presets::byName(GetParam()).value();
+    auto schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(schedule.isOk()) << schedule.status().toString();
+    EXPECT_GT(schedule.value().total_latency_cycles, 0.0);
+    for (const Segment &segment : schedule.value().segments)
+        EXPECT_LE(segment.cores_used, arch.chip.coreNumber());
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, InceptionScheduleTest,
+                         testing::Values("isaac-baseline", "puma",
+                                         "jia-isscc21"));
+
+TEST(InceptionTest, ParallelBranchesPipelineTogether)
+{
+    // Branches of one module are independent stages; the pipeline must
+    // not serialize them against each other more than the serial bound.
+    const Graph g = models::googlenet();
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto serial = scheduleGraph(g, arch, ScheduleOptions::none());
+    auto pipe = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(serial.isOk() && pipe.isOk());
+    EXPECT_LT(pipe.value().total_latency_cycles,
+              serial.value().total_latency_cycles);
+}
+
+class InceptionVerifyTest : public testing::TestWithParam<ComputeMode>
+{
+};
+
+TEST_P(InceptionVerifyTest, ToyBlockIsBitExact)
+{
+    Graph g = models::inceptionToy();
+    Rng rng(21);
+    g.randomizeWeights(rng);
+    CimArchitecture arch = presets::tutorialTable2(GetParam());
+    arch.chip.core_rows = 8;
+    arch.xbar.rows = 64;
+    arch.xbar.parallel_row = 16;
+    Int8Tensor image(TensorShape({1, 4, 8, 8}));
+    image.fillRandom(rng, -12, 12);
+    auto report = verifyCompiledFlow(g, arch, ScheduleOptions::full(),
+                                     {{g.inputs()[0], image}});
+    ASSERT_TRUE(report.isOk()) << report.status().toString();
+    EXPECT_TRUE(report.value().match) << report.value().first_mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, InceptionVerifyTest,
+                         testing::Values(ComputeMode::kCM,
+                                         ComputeMode::kXBM,
+                                         ComputeMode::kWLM));
+
+TEST(InceptionTest, SerializationRoundTrip)
+{
+    const Graph original = models::googlenet();
+    auto restored = graphFromConfig(graphToConfig(original));
+    ASSERT_TRUE(restored.isOk()) << restored.status().toString();
+    EXPECT_EQ(restored.value().totalWeights(), original.totalWeights());
+    EXPECT_EQ(restored.value().totalMacs(), original.totalMacs());
+}
+
+} // namespace
+} // namespace cimmlc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the dimension-binding / VXB mapping structures (Figure 7).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "sched/mapping.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(BindingTest, DefaultBindingsValidate)
+{
+    EXPECT_TRUE(DimensionBinding::bitsToColumns().validate().isOk());
+    EXPECT_TRUE(DimensionBinding::bitsToCrossbars().validate().isOk());
+}
+
+TEST(BindingTest, IllegalBindingsRejected)
+{
+    DimensionBinding rows_to_cols;
+    rows_to_cols.row_binding = XbarDim::kXBC;
+    EXPECT_FALSE(rows_to_cols.validate().isOk());
+
+    DimensionBinding bits_to_rows;
+    bits_to_rows.bit_binding = XbarDim::kXBR;
+    EXPECT_FALSE(bits_to_rows.validate().isOk());
+}
+
+TEST(BindingTest, DimNames)
+{
+    EXPECT_STREQ(xbarDimName(XbarDim::kXB), "XB");
+    EXPECT_STREQ(xbarDimName(XbarDim::kXBR), "XBR");
+    EXPECT_STREQ(xbarDimName(XbarDim::kXBC), "XBC");
+}
+
+TEST(VxbGridTest, SmallMatrixFitsOneCrossbar)
+{
+    // Table 2 walkthrough: 27x32 matrix on 32x128 arrays with 2-bit
+    // cells — one crossbar holds it (32 logical columns of 4 cells).
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kXBM);
+    const VxbGrid grid = computeVxbGrid({27, 32}, arch);
+    EXPECT_EQ(grid.tiles_r, 1);
+    EXPECT_EQ(grid.tiles_c, 1);
+    EXPECT_EQ(grid.bit_planes, 1);
+    EXPECT_EQ(grid.vxbCount(), 1);
+    EXPECT_EQ(grid.physicalCrossbars(), 1);
+    EXPECT_EQ(grid.rows_last_tile, 27);
+    EXPECT_EQ(grid.cols_last_tile, 32);
+}
+
+TEST(VxbGridTest, LargeMatrixTiles)
+{
+    // ResNet stage-4 conv on the ISAAC baseline: 4608x512 on 128x128
+    // arrays with 4 cells/weight -> 36 x 16 tiles.
+    const CimArchitecture arch = presets::isaacBaseline();
+    const VxbGrid grid = computeVxbGrid({4608, 512}, arch);
+    EXPECT_EQ(grid.tiles_r, 36);
+    EXPECT_EQ(grid.tiles_c, 16);
+    EXPECT_EQ(grid.physicalCrossbars(), 576);
+    EXPECT_EQ(grid.rows_last_tile, 128);
+    EXPECT_EQ(grid.cols_last_tile, 32);
+}
+
+TEST(VxbGridTest, BitsToCrossbarsUsesBitPlanes)
+{
+    const CimArchitecture arch = presets::isaacBaseline(); // 4 cells/w
+    const VxbGrid grid = computeVxbGrid(
+        {128, 128}, arch, DimensionBinding::bitsToCrossbars());
+    EXPECT_EQ(grid.bit_planes, 4);
+    EXPECT_EQ(grid.tiles_r, 1);
+    EXPECT_EQ(grid.tiles_c, 1); // full 128 columns per plane
+    EXPECT_EQ(grid.physicalCrossbars(), 4);
+}
+
+TEST(VxbGridTest, PartialLastTileDimensions)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    const VxbGrid grid = computeVxbGrid({147, 64}, arch);
+    EXPECT_EQ(grid.tiles_r, 2);
+    EXPECT_EQ(grid.rows_last_tile, 19);
+    EXPECT_EQ(grid.tiles_c, 2);
+    EXPECT_EQ(grid.cols_last_tile, 32);
+}
+
+TEST(VxbGridTest, ToStringMentionsTiles)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    const std::string text =
+        computeVxbGrid({256, 64}, arch).toString();
+    EXPECT_NE(text.find("2x2 tiles"), std::string::npos);
+}
+
+TEST(CoreSlotsTest, MatchesXbNumber)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    EXPECT_EQ(coreVxbSlots(arch), 16);
+    EXPECT_EQ(coreVxbSlots(arch, DimensionBinding::bitsToCrossbars()),
+              4); // 16 crossbars / 4 bit planes
+}
+
+TEST(CoresPerReplicaTest, CeilsOverCoreCapacity)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    EXPECT_EQ(coresPerReplica(computeVxbGrid({4608, 512}, arch), arch),
+              36); // 576 crossbars / 16 per core
+    EXPECT_EQ(coresPerReplica(computeVxbGrid({27, 32}, arch), arch), 1);
+}
+
+TEST(CapacityTest, ChipWeightCapacity)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    // 128*128 cells / 4 cells-per-weight * 12288 crossbars.
+    EXPECT_EQ(chipWeightCapacity(arch), 4096LL * 12288);
+}
+
+TEST(CapacityTest, JainMacroCapacityIsTiny)
+{
+    const CimArchitecture arch = presets::jainJssc21();
+    // 256*64 cells, 8 cells per 8-bit weight (1-bit cells), 8 arrays.
+    EXPECT_EQ(chipWeightCapacity(arch), 2048LL * 8);
+}
+
+} // namespace
+} // namespace cimmlc

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the meta-operator IR: op construction and printing, the
+ * parser round trip, program statistics, and architecture validation of
+ * flows (mode legality, address bounds, device write policy).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "mop/parser.h"
+#include "mop/printer.h"
+#include "mop/program.h"
+#include "mop/validator.h"
+
+namespace cimmlc {
+namespace {
+
+MetaOp
+makeReadXb()
+{
+    MetaOp op;
+    op.kind = MetaOpKind::kReadXb;
+    op.core = 1;
+    op.xb = 2;
+    op.len = 1;
+    op.rows = 27;
+    op.cols = 32;
+    op.src = {MemSpace::kL1, 1, 0};
+    op.dst = {MemSpace::kL0, 0, 4096};
+    return op;
+}
+
+TEST(MetaOpTest, KindNamesAndClassification)
+{
+    EXPECT_STREQ(metaOpKindName(MetaOpKind::kReadCore), "cim.readcore");
+    EXPECT_STREQ(metaOpKindName(MetaOpKind::kMov), "mov");
+    EXPECT_TRUE(isCimMetaOp(MetaOpKind::kReadRow));
+    EXPECT_TRUE(isCimMetaOp(MetaOpKind::kWriteXb));
+    EXPECT_FALSE(isCimMetaOp(MetaOpKind::kDcom));
+    EXPECT_FALSE(isCimMetaOp(MetaOpKind::kMov));
+}
+
+TEST(MetaOpTest, BufAddrRendering)
+{
+    EXPECT_EQ(bufAddrToString({MemSpace::kL0, 0, 42}), "L0[42]");
+    EXPECT_EQ(bufAddrToString({MemSpace::kL1, 3, 7}), "L1c3[7]");
+}
+
+TEST(MetaOpTest, ReadXbToString)
+{
+    EXPECT_EQ(makeReadXb().toString(),
+              "cim.readxb(xbaddr=c1.x2, len=1, rows=27, cols=32, "
+              "src=L1c1[0], dst=L0[4096])");
+}
+
+// Round-trip property: print -> parse -> print must be a fixed point.
+class OpRoundTripTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(OpRoundTripTest, PrintParsePrintIsStable)
+{
+    const std::string line = GetParam();
+    auto parsed = parseOpLine(line);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().toString(), line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, OpRoundTripTest,
+    testing::Values(
+        "cim.readcore(conv, cin=3, h=32, w=32, cout=32, k=3, s=1, p=1, "
+        "coreaddr=0, src=L0[0], dst=L0[3072])",
+        "cim.readcore(linear, fin=128, fout=10, wb=0, we=4, coreaddr=1, "
+        "src=L0[64], dst=L0[128])",
+        "cim.readxb(xbaddr=c1.x2, len=1, rows=27, cols=32, src=L1c1[0], "
+        "dst=L0[4096])",
+        "cim.readrow(rowaddr=c0.x1.r16, len=16, cols=8, src=L1c0[16], "
+        "dst=L0[99])",
+        "mov(src=L0[0], dst=L1c0[0], len=27)",
+        "mov(src=L0[10], dst=L0[20], len=3, count=4, sstride=32, "
+        "dstride=3)",
+        "relu(src=L0[0], dst=L0[64], len=64)",
+        "requant(src=L0[0], dst=L0[64], len=64, shift=6)",
+        "add(src1=L0[0], src2=L0[64], dst=L0[128], len=64)",
+        "maxpool(src=L0[0], dst=L0[256], len=256, k=2, s=2, p=0, c=4, "
+        "h=8, w=8)",
+        "zero(src=L0[0], dst=L0[5], len=27)"));
+
+TEST(ParserTest, ParsesWriteShapes)
+{
+    auto op = parseOpLine("cim.writexb(xbaddr=c0.x1, mat=[32, 64])");
+    ASSERT_TRUE(op.isOk());
+    EXPECT_EQ(op.value().kind, MetaOpKind::kWriteXb);
+    EXPECT_EQ(op.value().rows, 32);
+    EXPECT_EQ(op.value().cols, 64);
+    EXPECT_EQ(op.value().payload, nullptr); // data not in surface syntax
+}
+
+TEST(ParserTest, RejectsMalformedLines)
+{
+    EXPECT_FALSE(parseOpLine("not an op").isOk());
+    EXPECT_FALSE(parseOpLine("mov(src=L7[0], dst=L0[0], len=1)").isOk());
+    EXPECT_FALSE(
+        parseOpLine("cim.readxb(xbaddr=banana, len=1)").isOk());
+    EXPECT_FALSE(parseOpLine("mov(src=L0[x], dst=L0[0], len=1)").isOk());
+}
+
+TEST(ParserTest, ParsesFullProgramStructure)
+{
+    const std::string text = R"(
+// header comment
+init:
+    cim.writexb(xbaddr=c0.x0, mat=[27, 32])
+compute:
+    repeat 4 {
+        mov(src=L0[0], dst=L1c0[0], len=27)
+        parallel {
+            cim.readxb(xbaddr=c0.x0, len=1, rows=27, cols=32, src=L1c0[0], dst=L0[64])
+        }
+    }
+    relu(src=L0[64], dst=L0[64], len=32)
+)";
+    auto program = parseProgram(text);
+    ASSERT_TRUE(program.isOk()) << program.status().toString();
+    EXPECT_EQ(program.value().init().size(), 1u);
+    EXPECT_EQ(program.value().compute().size(), 2u);
+    const MopCounts counts = program.value().counts();
+    EXPECT_EQ(counts.cim_writes, 1);
+    EXPECT_EQ(counts.cim_reads, 4); // repeat expands
+    EXPECT_EQ(counts.mov, 4);
+    EXPECT_EQ(counts.dcom, 1);
+    EXPECT_EQ(counts.parallel_blocks, 4);
+}
+
+TEST(ParserTest, RejectsUnterminatedBlock)
+{
+    EXPECT_FALSE(parseProgram("parallel {\n mov(src=L0[0], dst=L0[1], "
+                              "len=1)\n").isOk());
+    EXPECT_FALSE(parseProgram("repeat x {\n}\n").isOk());
+}
+
+TEST(ProgramTest, CountsAndSummary)
+{
+    MopProgram program("p", "XBM");
+    program.emitInit(makeReadXb()); // counts as read even in init
+    program.emit(makeReadXb());
+    MetaOp mov;
+    mov.kind = MetaOpKind::kMov;
+    mov.len = 8;
+    program.emit(mov);
+    EXPECT_EQ(program.counts().cim_reads, 2);
+    EXPECT_EQ(program.counts().mov, 1);
+    EXPECT_EQ(program.counts().total(), 3);
+    EXPECT_NE(program.summary().find("p [XBM]"), std::string::npos);
+}
+
+TEST(ProgramTest, ForEachOpExpandsRepeats)
+{
+    MopProgram program("p", "XBM");
+    program.compute().push_back(
+        Stmt::makeRepeat(3, {Stmt::makeOp(makeReadXb())}));
+    int visits = 0;
+    program.forEachOp([&](const MetaOp &) { ++visits; });
+    EXPECT_EQ(visits, 3);
+}
+
+TEST(PrinterTest, SectionsAndIndentation)
+{
+    MopProgram program("p", "XBM");
+    program.emitInit(makeReadXb());
+    program.compute().push_back(
+        Stmt::makeParallel({Stmt::makeOp(makeReadXb())}));
+    const std::string text = printProgram(program);
+    EXPECT_NE(text.find("init:\n"), std::string::npos);
+    EXPECT_NE(text.find("compute:\n"), std::string::npos);
+    EXPECT_NE(text.find("    parallel {\n"), std::string::npos);
+    EXPECT_NE(text.find("        cim.readxb"), std::string::npos);
+}
+
+TEST(PrinterTest, TruncationMarks)
+{
+    MopProgram program("p", "XBM");
+    for (int i = 0; i < 10; ++i)
+        program.emit(makeReadXb());
+    PrintOptions options;
+    options.max_statements = 3;
+    const std::string text = printProgram(program, options);
+    EXPECT_NE(text.find("... (truncated)"), std::string::npos);
+}
+
+// ----- validator ----------------------------------------------------------
+
+class ValidatorTest : public testing::Test
+{
+  protected:
+    CimArchitecture arch_ = presets::tutorialTable2(ComputeMode::kWLM);
+};
+
+TEST_F(ValidatorTest, AcceptsWellFormedFlow)
+{
+    MopProgram program("p", "WLM");
+    MetaOp write;
+    write.kind = MetaOpKind::kWriteRow;
+    write.core = 0;
+    write.xb = 0;
+    write.row = 0;
+    write.len = 16;
+    program.emitInit(write);
+    MetaOp read;
+    read.kind = MetaOpKind::kReadRow;
+    read.core = 0;
+    read.xb = 0;
+    read.row = 0;
+    read.len = 16;
+    read.cols = 8;
+    program.emit(read);
+    EXPECT_TRUE(validateProgram(program, arch_).isOk());
+}
+
+TEST_F(ValidatorTest, RejectsCoreOutOfRange)
+{
+    MopProgram program("p", "WLM");
+    MetaOp op = {};
+    op.kind = MetaOpKind::kReadXb;
+    op.core = 99;
+    op.len = 1;
+    program.emit(op);
+    EXPECT_FALSE(validateProgram(program, arch_).isOk());
+}
+
+TEST_F(ValidatorTest, RejectsRowGroupBeyondParallelRow)
+{
+    MopProgram program("p", "WLM");
+    MetaOp op = {};
+    op.kind = MetaOpKind::kReadRow;
+    op.core = 0;
+    op.xb = 0;
+    op.row = 0;
+    op.len = 17; // parallel_row is 16
+    program.emit(op);
+    const Status status = validateProgram(program, arch_);
+    EXPECT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("parallel_row"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, RejectsModeMismatch)
+{
+    const CimArchitecture cm = presets::tutorialTable2(ComputeMode::kCM);
+    MopProgram program("p", "CM");
+    MetaOp op = {};
+    op.kind = MetaOpKind::kReadXb;
+    op.len = 1;
+    program.emit(op);
+    EXPECT_FALSE(validateProgram(program, cm).isOk());
+    // But the same op is legal under XBM.
+    const CimArchitecture xbm =
+        presets::tutorialTable2(ComputeMode::kXBM);
+    EXPECT_TRUE(validateProgram(program, xbm).isOk());
+}
+
+TEST_F(ValidatorTest, RejectsRuntimeWritesOnReram)
+{
+    CimArchitecture reram = presets::isaacBaseline();
+    MopProgram program("p", "XBM");
+    MetaOp op = {};
+    op.kind = MetaOpKind::kWriteXb;
+    program.emit(op); // compute-section write
+    const Status status = validateProgram(program, reram);
+    EXPECT_FALSE(status.isOk());
+    // The same write in the init section is fine.
+    MopProgram ok("p", "XBM");
+    ok.emitInit(op);
+    EXPECT_TRUE(validateProgram(ok, reram).isOk());
+    // And enforcement can be disabled.
+    ValidateOptions relaxed;
+    relaxed.enforce_write_policy = false;
+    EXPECT_TRUE(validateProgram(program, reram, relaxed).isOk());
+}
+
+TEST_F(ValidatorTest, RejectsNestedParallel)
+{
+    MopProgram program("p", "WLM");
+    MetaOp mov = {};
+    mov.kind = MetaOpKind::kMov;
+    mov.len = 1;
+    program.compute().push_back(Stmt::makeParallel(
+        {Stmt::makeParallel({Stmt::makeOp(mov)})}));
+    EXPECT_FALSE(validateProgram(program, arch_).isOk());
+}
+
+TEST_F(ValidatorTest, RejectsUnknownDcomAndBadMov)
+{
+    MopProgram program("p", "WLM");
+    MetaOp op = {};
+    op.kind = MetaOpKind::kDcom;
+    op.func = "teleport";
+    program.emit(op);
+    EXPECT_FALSE(validateProgram(program, arch_).isOk());
+
+    MopProgram program2("p", "WLM");
+    MetaOp mov = {};
+    mov.kind = MetaOpKind::kMov;
+    mov.len = 0;
+    program2.emit(mov);
+    EXPECT_FALSE(validateProgram(program2, arch_).isOk());
+}
+
+TEST_F(ValidatorTest, L1CapacityChecked)
+{
+    CimArchitecture arch = presets::puma(); // L1 = 1 KiB = 256 elements
+    MopProgram program("p", "XBM");
+    MetaOp mov = {};
+    mov.kind = MetaOpKind::kMov;
+    mov.src = {MemSpace::kL0, 0, 0};
+    mov.dst = {MemSpace::kL1, 0, 200};
+    mov.len = 100; // 200 + 100 > 256
+    program.emit(mov);
+    EXPECT_FALSE(validateProgram(program, arch).isOk());
+}
+
+} // namespace
+} // namespace cimmlc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Integration tests for the multi-level scheduling driver: every model x
+ * preset combination schedules cleanly, options clamp to the computing
+ * mode, and the schedule invariants hold.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "graph/models.h"
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+namespace {
+
+class ScheduleMatrixTest
+    : public testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(ScheduleMatrixTest, CompilesWithInvariants)
+{
+    const auto [model_name, preset_name] = GetParam();
+    const Graph g = models::byName(model_name);
+    const CimArchitecture arch = presets::byName(preset_name).value();
+    auto schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(schedule.isOk()) << schedule.status().toString();
+    const Schedule &s = schedule.value();
+
+    EXPECT_GT(s.total_latency_cycles, 0.0);
+    EXPECT_FALSE(s.segments.empty());
+    EXPECT_EQ(s.ops.size(), g.nodeCount());
+    for (const Segment &segment : s.segments) {
+        EXPECT_LE(segment.cores_used, arch.chip.coreNumber());
+        EXPECT_GE(segment.latency_cycles, 0.0);
+    }
+    for (const OperatorMapping &m : s.ops) {
+        if (!m.is_cim)
+            continue;
+        EXPECT_GE(m.duplication, 1);
+        EXPECT_GE(m.mvm_duplication, 1);
+        EXPECT_GE(m.vvm_spread, 1);
+        EXPECT_GT(m.windows, 0);
+        EXPECT_GT(m.cycles_per_window, 0.0);
+        EXPECT_GE(m.core_base, 0);
+        EXPECT_GE(m.utilization, 0.0);
+        EXPECT_LE(m.utilization, 1.0);
+    }
+    // Every CIM node belongs to exactly one segment.
+    std::size_t seg_nodes = 0;
+    for (const Segment &segment : s.segments)
+        seg_nodes += segment.nodes.size();
+    EXPECT_EQ(seg_nodes, g.nodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScheduleMatrixTest,
+    testing::Combine(testing::Values("lenet5", "resnet18", "vgg11",
+                                     "vit_tiny", "macro_cnn"),
+                     testing::Values("isaac-baseline", "puma",
+                                     "jia-isscc21", "jain-jssc21")));
+
+TEST(ModeClampTest, CmArchitectureDisablesFinerLevels)
+{
+    const Graph g = models::lenet5();
+    const CimArchitecture arch = presets::jiaIsscc21(); // CM
+    auto schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(schedule.isOk());
+    EXPECT_FALSE(schedule.value().options.mvm_duplication);
+    EXPECT_FALSE(schedule.value().options.mvm_pipeline);
+    EXPECT_FALSE(schedule.value().options.vvm_remap);
+    for (const OperatorMapping &m : schedule.value().ops) {
+        EXPECT_EQ(m.mvm_duplication, m.duplication);
+        EXPECT_EQ(m.vvm_spread, 1);
+    }
+}
+
+TEST(ModeClampTest, XbmArchitectureDisablesVvm)
+{
+    const Graph g = models::lenet5();
+    const CimArchitecture arch = presets::puma(); // XBM
+    auto schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(schedule.isOk());
+    EXPECT_TRUE(schedule.value().options.mvm_duplication);
+    EXPECT_FALSE(schedule.value().options.vvm_remap);
+}
+
+TEST(ScheduleTest, OptionsToStringListsLevels)
+{
+    EXPECT_EQ(ScheduleOptions::none().toString(), "none");
+    EXPECT_EQ(ScheduleOptions::full().toString(),
+              "cg-dup+cg-pipe+mvm-dup+mvm-pipe+vvm-remap");
+    EXPECT_EQ(ScheduleOptions::cgOnly().toString(), "cg-dup+cg-pipe");
+}
+
+TEST(ScheduleTest, SummaryMentionsOperators)
+{
+    const Graph g = models::convReluToy();
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kXBM);
+    auto schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(schedule.isOk());
+    const std::string summary = schedule.value().summary(g);
+    EXPECT_NE(summary.find("conv"), std::string::npos);
+    EXPECT_NE(summary.find("segment 0"), std::string::npos);
+}
+
+TEST(ScheduleTest, MappingLookupByNode)
+{
+    const Graph g = models::convReluToy();
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kXBM);
+    auto schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    ASSERT_TRUE(schedule.isOk());
+    EXPECT_TRUE(schedule.value().hasMapping(1));
+    EXPECT_EQ(schedule.value().mapping(1).node, 1);
+}
+
+TEST(ScheduleTest, InvalidGraphRejected)
+{
+    Graph g("incomplete");
+    g.addInput("in", {1, 8});
+    const CimArchitecture arch = presets::isaacBaseline();
+    EXPECT_FALSE(
+        scheduleGraph(g, arch, ScheduleOptions::full()).isOk());
+}
+
+TEST(ScheduleTest, PipelineBeatsSerialOnDeepNets)
+{
+    const Graph g = models::resnet34();
+    const CimArchitecture arch = presets::isaacBaseline();
+    ScheduleOptions serial = ScheduleOptions::none();
+    ScheduleOptions pipe = ScheduleOptions::none();
+    pipe.cg_pipeline = true;
+    auto s = scheduleGraph(g, arch, serial);
+    auto p = scheduleGraph(g, arch, pipe);
+    ASSERT_TRUE(s.isOk() && p.isOk());
+    EXPECT_LT(p.value().total_latency_cycles,
+              s.value().total_latency_cycles);
+}
+
+TEST(ScheduleTest, ReloadCountedOnlyWithSegmentation)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    auto small =
+        scheduleGraph(models::resnet18(), arch, ScheduleOptions::full());
+    auto large =
+        scheduleGraph(models::vgg16(), arch, ScheduleOptions::full());
+    ASSERT_TRUE(small.isOk() && large.isOk());
+    EXPECT_DOUBLE_EQ(small.value().total_reload_cycles, 0.0);
+    EXPECT_GT(large.value().total_reload_cycles, 0.0);
+}
+
+TEST(ScheduleTest, PeakActivationBoundedByChip)
+{
+    const CimArchitecture arch = presets::isaacBaseline();
+    for (const char *name : {"resnet18", "vgg16", "vit_tiny"}) {
+        auto schedule = scheduleGraph(models::byName(name), arch,
+                                      ScheduleOptions::full());
+        ASSERT_TRUE(schedule.isOk());
+        EXPECT_LE(schedule.value().peak_active_xbs,
+                  arch.totalCrossbars())
+            << name;
+    }
+}
+
+} // namespace
+} // namespace cimmlc

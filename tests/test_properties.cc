@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Randomized property tests over deterministic seeds: mapping-coverage
+ * invariants, allocator optimality against brute force, quantization
+ * algebra, printer/parser round trips on generated ops, and
+ * cross-scheduler orderings.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/presets.h"
+#include "common/rng.h"
+#include "graph/models.h"
+#include "mop/parser.h"
+#include "sched/cg.h"
+#include "sched/mapping.h"
+#include "sched/multi_level.h"
+#include "tensor/quantize.h"
+
+namespace cimmlc {
+namespace {
+
+// ----- VxbGrid coverage invariants ------------------------------------------
+
+class GridPropertyTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(GridPropertyTest, TilesExactlyCoverTheMatrix)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const CimArchitecture arch = presets::isaacBaseline();
+    for (int trial = 0; trial < 50; ++trial) {
+        WeightMatrixShape matrix;
+        matrix.rows = rng.uniformInt(1, 5000);
+        matrix.cols = rng.uniformInt(1, 4096);
+        const VxbGrid grid = computeVxbGrid(matrix, arch);
+
+        // Tile counts cover the matrix with no overshoot beyond one tile.
+        EXPECT_GE(grid.tiles_r * grid.rows_per_tile, matrix.rows);
+        EXPECT_LT((grid.tiles_r - 1) * grid.rows_per_tile, matrix.rows);
+        EXPECT_GE(grid.tiles_c * grid.logical_cols_per_tile,
+                  matrix.cols);
+        EXPECT_LT((grid.tiles_c - 1) * grid.logical_cols_per_tile,
+                  matrix.cols);
+        // Last-tile remainders are consistent.
+        EXPECT_EQ(grid.rows_last_tile,
+                  matrix.rows - (grid.tiles_r - 1) * grid.rows_per_tile);
+        EXPECT_GT(grid.rows_last_tile, 0);
+        EXPECT_LE(grid.rows_last_tile, grid.rows_per_tile);
+        EXPECT_GT(grid.cols_last_tile, 0);
+        // Physical arrays = VXBs x bit planes.
+        EXPECT_EQ(grid.physicalCrossbars(),
+                  grid.vxbCount() * grid.bit_planes);
+    }
+}
+
+TEST_P(GridPropertyTest, BitPlanesScaleArraysByCellsPerWeight)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+    const CimArchitecture arch = presets::isaacBaseline();
+    for (int trial = 0; trial < 30; ++trial) {
+        WeightMatrixShape matrix;
+        matrix.rows = rng.uniformInt(1, 2000);
+        matrix.cols = rng.uniformInt(1, 2000);
+        const VxbGrid packed = computeVxbGrid(
+            matrix, arch, DimensionBinding::bitsToColumns());
+        const VxbGrid planes = computeVxbGrid(
+            matrix, arch, DimensionBinding::bitsToCrossbars());
+        EXPECT_EQ(planes.bit_planes, arch.cellsPerWeight());
+        // Bit planes widen logical columns by exactly cellsPerWeight.
+        EXPECT_EQ(planes.logical_cols_per_tile,
+                  packed.logical_cols_per_tile * arch.cellsPerWeight());
+        EXPECT_EQ(planes.tiles_r, packed.tiles_r);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridPropertyTest,
+                         testing::Values(1, 2, 3));
+
+// ----- allocator vs brute force (3 stages) -----------------------------------
+
+double
+bruteForce3(const std::vector<double> &l, const std::vector<std::int64_t> &c,
+            std::int64_t budget, bool pipelined)
+{
+    double best = 1e300;
+    for (std::int64_t d0 = 1; d0 * c[0] <= budget; ++d0) {
+        for (std::int64_t d1 = 1; d0 * c[0] + d1 * c[1] <= budget; ++d1) {
+            for (std::int64_t d2 = 1;
+                 d0 * c[0] + d1 * c[1] + d2 * c[2] <= budget; ++d2) {
+                const double s0 = l[0] / static_cast<double>(d0);
+                const double s1 = l[1] / static_cast<double>(d1);
+                const double s2 = l[2] / static_cast<double>(d2);
+                const double value =
+                    pipelined ? std::max({s0, s1, s2}) : s0 + s1 + s2;
+                best = std::min(best, value);
+            }
+        }
+    }
+    return best;
+}
+
+class AllocatorPropertyTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllocatorPropertyTest, NearOptimalOnRandomInstances)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::vector<double> l = {rng.uniform(10.0, 1000.0),
+                                 rng.uniform(10.0, 1000.0),
+                                 rng.uniform(10.0, 1000.0)};
+        std::vector<std::int64_t> c = {rng.uniformInt(1, 3),
+                                       rng.uniformInt(1, 3),
+                                       rng.uniformInt(1, 3)};
+        // Segmentation guarantees the un-duplicated stages fit; generate
+        // only such instances.
+        const std::int64_t budget =
+            std::max<std::int64_t>(c[0] + c[1] + c[2],
+                                   rng.uniformInt(6, 18));
+        for (bool pipelined : {false, true}) {
+            const auto dup =
+                allocateDuplication(l, c, budget, pipelined);
+            std::int64_t used = 0;
+            for (std::size_t i = 0; i < 3; ++i)
+                used += dup[i] * c[i];
+            ASSERT_LE(used, budget);
+            const double s0 = l[0] / static_cast<double>(dup[0]);
+            const double s1 = l[1] / static_cast<double>(dup[1]);
+            const double s2 = l[2] / static_cast<double>(dup[2]);
+            const double achieved =
+                pipelined ? std::max({s0, s1, s2}) : s0 + s1 + s2;
+            const double optimal = bruteForce3(l, c, budget, pipelined);
+            // Within 25% of the exhaustive optimum (integer rounding and
+            // greedy tie-breaks account for the slack).
+            EXPECT_LE(achieved, optimal * 1.25)
+                << "trial " << trial << " pipelined " << pipelined;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorPropertyTest,
+                         testing::Values(1, 2, 3, 4));
+
+// ----- quantization algebra ----------------------------------------------------
+
+TEST(QuantPropertyTest, ShiftRoundIsOddAndMonotone)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::int32_t v =
+            static_cast<std::int32_t>(rng.uniformInt(-1'000'000,
+                                                     1'000'000));
+        const int shift = static_cast<int>(rng.uniformInt(0, 12));
+        // Odd symmetry: round(-v) == -round(v).
+        EXPECT_EQ(shiftRound(-v, shift), -shiftRound(v, shift));
+        // Monotone: v <= w implies round(v) <= round(w).
+        const std::int32_t w = v + static_cast<std::int32_t>(
+                                       rng.uniformInt(0, 1000));
+        EXPECT_LE(shiftRound(v, shift), shiftRound(w, shift));
+        // Bounded error: |round(v) * 2^shift - v| <= 2^(shift-1).
+        if (shift > 0) {
+            const std::int64_t back =
+                static_cast<std::int64_t>(shiftRound(v, shift)) << shift;
+            EXPECT_LE(std::abs(back - v), 1LL << (shift - 1));
+        }
+    }
+}
+
+TEST(QuantPropertyTest, ChosenShiftIsMinimalFeasible)
+{
+    Rng rng(32);
+    for (int trial = 0; trial < 200; ++trial) {
+        Int32Tensor acc(TensorShape({16}));
+        for (std::int64_t i = 0; i < 16; ++i) {
+            acc[i] = static_cast<std::int32_t>(
+                rng.uniformInt(-2'000'000, 2'000'000));
+        }
+        const int shift = chooseRequantShift(acc).shift;
+        std::int64_t max_abs = 0;
+        for (std::int64_t i = 0; i < 16; ++i) {
+            const std::int64_t v = std::abs(
+                static_cast<std::int64_t>(acc[i]));
+            max_abs = std::max(max_abs, v);
+        }
+        EXPECT_LE(max_abs >> shift, 127);
+        if (shift > 0) {
+            EXPECT_GT(max_abs >> (shift - 1), 127);
+        }
+    }
+}
+
+// ----- printer/parser round trip on generated ops ------------------------------
+
+TEST(MopPropertyTest, RandomReadOpsRoundTrip)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 300; ++trial) {
+        MetaOp op;
+        op.kind = rng.uniform() < 0.5 ? MetaOpKind::kReadXb
+                                      : MetaOpKind::kReadRow;
+        op.core = rng.uniformInt(0, 767);
+        op.xb = rng.uniformInt(0, 15);
+        op.row = rng.uniformInt(0, 120);
+        op.len = rng.uniformInt(1, 16);
+        op.rows = rng.uniformInt(1, 128);
+        op.cols = rng.uniformInt(1, 32);
+        op.src = {rng.uniform() < 0.5 ? MemSpace::kL0 : MemSpace::kL1,
+                  rng.uniformInt(0, 767), rng.uniformInt(0, 100000)};
+        op.dst = {MemSpace::kL0, 0, rng.uniformInt(0, 100000)};
+        auto parsed = parseOpLine(op.toString());
+        ASSERT_TRUE(parsed.isOk()) << op.toString();
+        EXPECT_EQ(parsed.value().toString(), op.toString());
+    }
+}
+
+// ----- cross-scheduler orderings over random-ish architectures ------------------
+
+class ArchSweepOrderingTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ArchSweepOrderingTest, FullStackNeverLosesToNoOpt)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+    const Graph g = models::lenet5();
+    for (int trial = 0; trial < 8; ++trial) {
+        CimArchitecture arch = presets::isaacBaseline();
+        arch.chip.core_rows = rng.uniformInt(2, 8);
+        arch.chip.core_cols = rng.uniformInt(2, 8);
+        arch.core.xb_cols = rng.uniformInt(1, 4);
+        arch.xbar.rows = 64 << rng.uniformInt(0, 2);
+        arch.xbar.cols = 64 << rng.uniformInt(0, 2);
+        arch.xbar.parallel_row =
+            std::min<std::int64_t>(arch.xbar.rows,
+                                   8 << rng.uniformInt(0, 3));
+        ASSERT_TRUE(arch.validate().isOk());
+        auto none = scheduleGraph(g, arch, ScheduleOptions::none());
+        auto full = scheduleGraph(g, arch, ScheduleOptions::full());
+        ASSERT_TRUE(none.isOk() && full.isOk());
+        EXPECT_LE(full.value().total_latency_cycles,
+                  none.value().total_latency_cycles * 1.0001)
+            << arch.toString();
+        EXPECT_LE(full.value().peak_active_xbs, arch.totalCrossbars());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArchSweepOrderingTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace cimmlc

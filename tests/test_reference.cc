@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the reference executor (the oracle): correctness against
+ * hand-computed cases and the shift-calibration contract.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/models.h"
+#include "graph/reference.h"
+#include "tensor/ops.h"
+
+namespace cimmlc {
+namespace {
+
+TEST(ReferenceTest, LinearChainMatchesDirectOps)
+{
+    Graph g("chain");
+    TensorId in = g.addInput("in", {1, 4});
+    TensorId out = g.linear(in, 3, "fc");
+    g.markOutput(out);
+    const NodeId fc = g.tensor(out).producer;
+    Int8Tensor w(TensorShape({3, 4}),
+                 {1, 2, 3, 4, -1, -2, -3, -4, 0, 1, 0, 1});
+    g.setWeight(fc, w);
+
+    Int8Tensor x(TensorShape({1, 4}), {1, 1, 1, 1});
+    auto result = runReference(g, {{in, x}});
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    // acc = [10, -10, 2]; max |acc| = 10 < 128 -> shift 0.
+    const Int8Tensor &y = result.value().output(g);
+    EXPECT_EQ(y[0], 10);
+    EXPECT_EQ(y[1], -10);
+    EXPECT_EQ(y[2], 2);
+    EXPECT_EQ(result.value().shifts.at(fc).shift, 0);
+}
+
+TEST(ReferenceTest, ShiftCalibratedWhenAccumulatorsOverflowInt8)
+{
+    Graph g("big");
+    TensorId in = g.addInput("in", {1, 64});
+    TensorId out = g.linear(in, 1, "fc");
+    g.markOutput(out);
+    const NodeId fc = g.tensor(out).producer;
+    Int8Tensor w(TensorShape({1, 64}));
+    w.fill(8);
+    g.setWeight(fc, w);
+    Int8Tensor x(TensorShape({1, 64}));
+    x.fill(16); // acc = 64 * 128 = 8192
+    auto result = runReference(g, {{in, x}});
+    ASSERT_TRUE(result.isOk());
+    EXPECT_GT(result.value().shifts.at(fc).shift, 0);
+    EXPECT_LE(result.value().output(g)[0], 127);
+}
+
+TEST(ReferenceTest, ReluAppliedAfterRequant)
+{
+    Graph g("relu");
+    TensorId in = g.addInput("in", {1, 2});
+    TensorId fc = g.linear(in, 2, "fc");
+    TensorId out = g.relu(fc);
+    g.markOutput(out);
+    Int8Tensor w(TensorShape({2, 2}), {1, 0, -1, 0});
+    g.setWeight(g.tensor(fc).producer, w);
+    Int8Tensor x(TensorShape({1, 2}), {5, 0});
+    auto result = runReference(g, {{in, x}});
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().output(g)[0], 5);
+    EXPECT_EQ(result.value().output(g)[1], 0); // -5 clamped by relu
+}
+
+TEST(ReferenceTest, MissingInputRejected)
+{
+    Graph g = models::convReluToy();
+    Rng rng(1);
+    g.randomizeWeights(rng);
+    EXPECT_FALSE(runReference(g, {}).isOk());
+}
+
+TEST(ReferenceTest, WrongInputShapeRejected)
+{
+    Graph g = models::convReluToy();
+    Rng rng(1);
+    g.randomizeWeights(rng);
+    Int8Tensor bad(TensorShape({1, 3, 16, 16}));
+    EXPECT_FALSE(runReference(g, {{g.inputs()[0], bad}}).isOk());
+}
+
+TEST(ReferenceTest, MissingWeightsRejected)
+{
+    Graph g = models::convReluToy(); // weights not installed
+    Int8Tensor x(TensorShape({1, 3, 32, 32}));
+    EXPECT_FALSE(runReference(g, {{g.inputs()[0], x}}).isOk());
+}
+
+TEST(ReferenceTest, ConvMatchesOpsDirectly)
+{
+    Graph g("conv");
+    TensorId in = g.addInput("in", {1, 2, 6, 6});
+    TensorId out = g.conv2d(in, 3, 3, 1, 1, "conv");
+    g.markOutput(out);
+    Rng rng(4);
+    g.randomizeWeights(rng);
+    Int8Tensor x(TensorShape({1, 2, 6, 6}));
+    x.fillRandom(rng, -10, 10);
+    auto result = runReference(g, {{in, x}});
+    ASSERT_TRUE(result.isOk());
+
+    const NodeId conv = g.tensor(out).producer;
+    const Int32Tensor acc = ops::conv2d(x, g.weight(conv), 1, 1);
+    const Int8Tensor expected =
+        requantize(acc, result.value().shifts.at(conv));
+    EXPECT_EQ(result.value().output(g), expected);
+}
+
+TEST(ReferenceTest, FlattenReshapePreserveData)
+{
+    Graph g("shape");
+    TensorId in = g.addInput("in", {1, 2, 2, 2});
+    TensorId flat = g.flatten(in);
+    TensorId back = g.reshape(flat, {2, 4});
+    g.markOutput(back);
+    Int8Tensor x(TensorShape({1, 2, 2, 2}), {1, 2, 3, 4, 5, 6, 7, 8});
+    auto result = runReference(g, {{in, x}});
+    ASSERT_TRUE(result.isOk());
+    const Int8Tensor &y = result.value().output(g);
+    for (std::int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(y[i], static_cast<std::int8_t>(i + 1));
+}
+
+TEST(ReferenceTest, ConcatStacksChannels)
+{
+    Graph g("cat");
+    TensorId in = g.addInput("in", {1, 1, 2, 2});
+    TensorId a = g.relu(in);
+    TensorId b = g.relu(in);
+    g.markOutput(g.concat({a, b}));
+    Int8Tensor x(TensorShape({1, 1, 2, 2}), {1, -2, 3, -4});
+    auto result = runReference(g, {{in, x}});
+    ASSERT_TRUE(result.isOk());
+    const Int8Tensor &y = result.value().output(g);
+    ASSERT_EQ(y.numel(), 8);
+    EXPECT_EQ(y[0], 1);
+    EXPECT_EQ(y[1], 0);
+    EXPECT_EQ(y[4], 1); // second channel copy
+}
+
+TEST(ReferenceTest, VitTinyExecutesEndToEnd)
+{
+    // The full transformer path (layernorm, matmul, softmax, gelu).
+    Graph g = models::vitTiny();
+    Rng rng(2);
+    g.randomizeWeights(rng, -2, 2);
+    Int8Tensor x(TensorShape({1, 3, 224, 224}));
+    x.fillRandom(rng, -4, 4);
+    auto result = runReference(g, {{g.inputs()[0], x}});
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value().output(g).numel(), 196 * 1000);
+}
+
+} // namespace
+} // namespace cimmlc
