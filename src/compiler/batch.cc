@@ -1,0 +1,215 @@
+#include "compiler/batch.h"
+
+#include <algorithm>
+
+#include "arch/presets.h"
+#include "common/config.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "common/threadpool.h"
+#include "graph/models.h"
+
+namespace cimmlc {
+
+namespace {
+
+/** Runs one job into @p entry; never throws or aborts on bad names. */
+void
+compileJob(const BatchJob &job, const ScheduleOptions &options,
+           BatchEntry &entry)
+{
+    entry.job = job;
+
+    auto arch = presets::byName(job.arch);
+    if (!arch.isOk()) {
+        entry.status = arch.status().withContext("job '" + job.model + " x "
+                                                 + job.arch + "'");
+        return;
+    }
+
+    // models::byName fatal()s on unknown names; reject them gracefully.
+    const std::vector<std::string> known = models::availableModels();
+    if (std::find(known.begin(), known.end(), toLower(job.model))
+        == known.end()) {
+        entry.status = notFound("unknown model '" + job.model + "'");
+        return;
+    }
+    const Graph graph = models::byName(job.model);
+    entry.nodes = static_cast<std::int64_t>(graph.nodeCount());
+    entry.weights = graph.totalWeights();
+
+    const CimCompiler compiler(std::move(arch).value(), options);
+    auto result = compiler.compile(graph);
+    if (!result.isOk()) {
+        entry.status = result.status().withContext(
+            "job '" + job.model + " x " + job.arch + "'");
+        return;
+    }
+    entry.status = Status::ok();
+    entry.perf = result.value().perf;
+    entry.flow_statements = result.value().code.program.counts().total();
+}
+
+} // namespace
+
+std::int64_t
+BatchResult::okCount() const
+{
+    std::int64_t ok = 0;
+    for (const BatchEntry &entry : entries)
+        if (entry.status.isOk())
+            ++ok;
+    return ok;
+}
+
+std::string
+BatchResult::table() const
+{
+    TextTable table({"model", "arch", "latency (cyc)", "energy (pJ)",
+                     "avg power (mW)", "xbar util", "flow ops", "status"});
+    for (const BatchEntry &entry : entries) {
+        if (entry.status.isOk()) {
+            table.addRow({entry.job.model, entry.job.arch,
+                          strformat("%.6g", entry.perf.latency_cycles),
+                          strformat("%.6g", entry.perf.energy.total()),
+                          strformat("%.4g", entry.perf.avg_power_mw),
+                          strformat("%.1f%%",
+                                    entry.perf.crossbar_utilization * 100.0),
+                          strformat("%lld", static_cast<long long>(
+                                                entry.flow_statements)),
+                          "ok"});
+        } else {
+            table.addRow({entry.job.model, entry.job.arch, "-", "-", "-",
+                          "-", "-", entry.status.toString()});
+        }
+    }
+    return table.render();
+}
+
+StatusOr<BatchResult>
+BatchCompiler::run(const std::vector<BatchJob> &jobs) const
+{
+    if (jobs.empty())
+        return invalidArgument("batch sweep has no jobs");
+
+    BatchResult result;
+    result.entries.resize(jobs.size());
+
+    if (threads_ == 1) {
+        // Serial reference path: the determinism tests compare against it.
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            compileJob(jobs[i], options_, result.entries[i]);
+        return result;
+    }
+
+    ThreadPool pool(threads_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([this, &jobs, &result, i] {
+            compileJob(jobs[i], options_, result.entries[i]);
+        });
+    }
+    pool.wait();
+    return result;
+}
+
+StatusOr<std::vector<BatchJob>>
+BatchCompiler::crossProduct(const std::vector<std::string> &model_names,
+                            const std::vector<std::string> &arch_names)
+{
+    if (model_names.empty())
+        return invalidArgument("sweep needs at least one model");
+    if (arch_names.empty())
+        return invalidArgument("sweep needs at least one architecture");
+
+    const std::vector<std::string> known = models::availableModels();
+    for (const std::string &model : model_names) {
+        if (std::find(known.begin(), known.end(), toLower(model))
+            == known.end())
+            return notFound("unknown model '" + model + "'");
+    }
+    for (const std::string &arch : arch_names) {
+        auto preset = presets::byName(arch);
+        if (!preset.isOk())
+            return preset.status();
+    }
+
+    std::vector<BatchJob> jobs;
+    jobs.reserve(model_names.size() * arch_names.size());
+    for (const std::string &model : model_names)
+        for (const std::string &arch : arch_names)
+            jobs.push_back(BatchJob{model, arch});
+    return jobs;
+}
+
+StatusOr<ScheduleOptions>
+scheduleOptionsByName(const std::string &level)
+{
+    if (level == "none")
+        return ScheduleOptions::none();
+    if (level == "cg")
+        return ScheduleOptions::cgOnly();
+    if (level == "cg+mvm" || level == "mvm")
+        return ScheduleOptions::cgMvm();
+    if (level == "full")
+        return ScheduleOptions::full();
+    return invalidArgument("unknown --opt level '" + level + "'");
+}
+
+namespace {
+
+StatusOr<BatchSweep>
+sweepFromConfig(const ConfigValue &doc)
+{
+    if (!doc.isObject())
+        return parseError("sweep file must be a JSON object");
+
+    auto readNames = [&doc](const char *key)
+        -> StatusOr<std::vector<std::string>> {
+        CIMMLC_ASSIGN_OR_RETURN(const ConfigValue list, doc.get(key));
+        if (!list.isArray() || list.asArray().empty())
+            return parseError(std::string("sweep '") + key
+                              + "' must be a non-empty array of strings");
+        std::vector<std::string> names;
+        for (const ConfigValue &item : list.asArray()) {
+            if (!item.isString())
+                return parseError(std::string("sweep '") + key
+                                  + "' entries must be strings");
+            names.push_back(item.asString());
+        }
+        return names;
+    };
+
+    CIMMLC_ASSIGN_OR_RETURN(const std::vector<std::string> model_names,
+                            readNames("models"));
+    CIMMLC_ASSIGN_OR_RETURN(const std::vector<std::string> arch_names,
+                            readNames("archs"));
+
+    BatchSweep sweep;
+    CIMMLC_ASSIGN_OR_RETURN(sweep.jobs, BatchCompiler::crossProduct(
+                                            model_names, arch_names));
+    CIMMLC_ASSIGN_OR_RETURN(
+        sweep.options,
+        scheduleOptionsByName(doc.getStringOr("opt", "full")));
+    sweep.threads = static_cast<int>(doc.getIntOr("threads", 0));
+    if (sweep.threads < 0)
+        return invalidArgument("sweep 'threads' must be >= 0");
+    return sweep;
+}
+
+} // namespace
+
+StatusOr<BatchSweep>
+sweepFromText(const std::string &text)
+{
+    CIMMLC_ASSIGN_OR_RETURN(const ConfigValue doc, parseConfig(text));
+    return sweepFromConfig(doc);
+}
+
+StatusOr<BatchSweep>
+sweepFromFile(const std::string &path)
+{
+    CIMMLC_ASSIGN_OR_RETURN(const ConfigValue doc, loadConfigFile(path));
+    return sweepFromConfig(doc);
+}
+
+} // namespace cimmlc

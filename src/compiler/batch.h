@@ -1,0 +1,132 @@
+/**
+ * @file
+ * BatchCompiler: design-space exploration over models x architectures.
+ *
+ * The paper's evaluation (Figures 21/22) sweeps networks across
+ * architecture presets one compile at a time; BatchCompiler runs the
+ * same sweep concurrently on a work-stealing pool and aggregates the
+ * per-job performance reports into one table.
+ *
+ * Reentrancy: the whole compile path (scheduling, codegen, perfsim)
+ * takes `const Graph &` / `const CimArchitecture &` and keeps no global
+ * mutable state (logging counters are atomic), so concurrent jobs may
+ * share one immutable CimArchitecture. Each job writes only its own
+ * pre-allocated result slot, which makes the parallel run's output
+ * byte-identical to the serial loop's.
+ */
+#ifndef CIMMLC_COMPILER_BATCH_H
+#define CIMMLC_COMPILER_BATCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/compiler.h"
+#include "perfsim/perf_model.h"
+#include "sched/options.h"
+
+namespace cimmlc {
+
+/** One (model, architecture) compile in a sweep; names are preset keys. */
+struct BatchJob {
+    std::string model; //!< models::byName key, e.g. "resnet18"
+    std::string arch;  //!< presets::byName key, e.g. "isaac"
+};
+
+/** Outcome of one BatchJob. */
+struct BatchEntry {
+    BatchJob job;
+    Status status;          //!< per-job result; perf is valid iff OK
+    PerfReport perf;
+    std::int64_t nodes = 0;   //!< workload graph size
+    std::int64_t weights = 0; //!< workload weight count
+    std::int64_t flow_statements = 0; //!< emitted meta-operator count
+};
+
+/** Aggregated sweep results, in job-submission order. */
+struct BatchResult {
+    std::vector<BatchEntry> entries;
+
+    /** Number of entries whose status is OK. */
+    std::int64_t okCount() const;
+
+    /** Renders the aggregated latency/energy table. */
+    std::string table() const;
+};
+
+/** A sweep description parsed from a kvjson file (see sweepFromFile). */
+struct BatchSweep {
+    std::vector<BatchJob> jobs;
+    ScheduleOptions options;
+    int threads = 0; //!< 0 = one per hardware thread
+};
+
+/**
+ * Compiles batches of (model, arch) jobs concurrently.
+ *
+ * @code
+ *   BatchCompiler batch(ScheduleOptions::full(), 8);
+ *   auto jobs = BatchCompiler::crossProduct({"resnet18", "vgg16"},
+ *                                           {"isaac", "puma"});
+ *   auto result = batch.run(jobs.value());
+ *   std::cout << result.value().table();
+ * @endcode
+ */
+class BatchCompiler
+{
+  public:
+    /** @p threads: 0 = hardware concurrency, 1 = serial reference path. */
+    explicit BatchCompiler(ScheduleOptions options = ScheduleOptions::full(),
+                           int threads = 0)
+        : options_(options), threads_(threads)
+    {
+    }
+
+    const ScheduleOptions &options() const { return options_; }
+    int threads() const { return threads_; }
+
+    /**
+     * Runs every job; per-job failures (unknown name, infeasible
+     * mapping) are recorded in the entry, not propagated. Entries are
+     * always in @p jobs order regardless of thread timing. The call
+     * itself only fails on an empty job list.
+     */
+    StatusOr<BatchResult> run(const std::vector<BatchJob> &jobs) const;
+
+    /**
+     * Builds the models x archs cross product, validating every name
+     * up front (models::byName aborts on unknown names, so the batch
+     * path must reject them before compiling).
+     */
+    static StatusOr<std::vector<BatchJob>>
+    crossProduct(const std::vector<std::string> &model_names,
+                 const std::vector<std::string> &arch_names);
+
+  private:
+    ScheduleOptions options_;
+    int threads_;
+};
+
+/** Maps an --opt level name (none|cg|cg+mvm|full) to ScheduleOptions. */
+StatusOr<ScheduleOptions> scheduleOptionsByName(const std::string &level);
+
+/**
+ * Parses a sweep file:
+ * @code
+ *   {
+ *     "models": ["resnet18", "vgg16"],  # required, model preset keys
+ *     "archs": ["isaac", "puma"],       # required, arch preset keys
+ *     "opt": "full",                    # none | cg | cg+mvm | full
+ *     "threads": 0                      # 0 = hardware concurrency
+ *   }
+ * @endcode
+ */
+StatusOr<BatchSweep> sweepFromFile(const std::string &path);
+
+/** Parses sweep text (same schema as sweepFromFile). */
+StatusOr<BatchSweep> sweepFromText(const std::string &text);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMPILER_BATCH_H

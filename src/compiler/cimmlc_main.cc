@@ -5,6 +5,7 @@
  * Usage:
  *   cimmlc --model resnet18 --arch isaac-baseline [options]
  *   cimmlc --model-file net.json --arch-file chip.json [options]
+ *   cimmlc --batch sweep.json [--threads N] [--serial]
  *
  * Options:
  *   --model NAME        built-in model (see --list-models)
@@ -15,15 +16,21 @@
  *   --print-flow [N]    print the meta-operator flow (first N stmts)
  *   --print-schedule    print the per-operator mapping report
  *   --verify            unroll, execute, and check against the oracle
+ *   --batch PATH        compile a models x archs sweep concurrently
+ *   --threads N         batch worker threads (0 = hardware concurrency)
+ *   --serial            force the serial batch path (reference/debug)
  *   --list-models / --list-archs
+ *   --help / -h
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "arch/presets.h"
 #include "arch/serialize.h"
 #include "common/rng.h"
+#include "compiler/batch.h"
 #include "compiler/compiler.h"
 #include "funcsim/verify.h"
 #include "graph/models.h"
@@ -40,37 +47,77 @@ struct CliArgs {
     std::string arch = "isaac-baseline";
     std::string arch_file;
     std::string opt = "full";
+    bool opt_explicit = false;
+    std::string batch_file;
+    int threads = -1; //!< -1 = use the sweep file's setting
+    bool serial = false;
     bool print_flow = false;
     std::int64_t flow_limit = 40;
     bool print_schedule = false;
     bool verify = false;
 };
 
-int
-usage(const char *argv0)
+void
+printUsage(std::FILE *out, const char *argv0)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: %s --model NAME | --model-file PATH\n"
         "          [--arch NAME | --arch-file PATH] [--opt LEVEL]\n"
         "          [--print-flow [N]] [--print-schedule] [--verify]\n"
-        "          [--list-models] [--list-archs]\n",
-        argv0);
+        "       %s --batch SWEEP.json [--opt LEVEL] [--threads N] "
+        "[--serial]\n"
+        "          [--list-models] [--list-archs] [--help]\n",
+        argv0, argv0);
+}
+
+int
+usage(const char *argv0)
+{
+    printUsage(stderr, argv0);
     return 2;
 }
 
-StatusOr<ScheduleOptions>
-optionsFor(const std::string &level)
+int
+runBatch(const CliArgs &args)
 {
-    if (level == "none")
-        return ScheduleOptions::none();
-    if (level == "cg")
-        return ScheduleOptions::cgOnly();
-    if (level == "cg+mvm" || level == "mvm")
-        return ScheduleOptions::cgMvm();
-    if (level == "full")
-        return ScheduleOptions::full();
-    return invalidArgument("unknown --opt level '" + level + "'");
+    auto sweep = sweepFromFile(args.batch_file);
+    if (!sweep.isOk()) {
+        std::fprintf(stderr, "sweep load failed: %s\n",
+                     sweep.status().toString().c_str());
+        return 1;
+    }
+    ScheduleOptions options = sweep.value().options;
+    if (args.opt_explicit) {
+        auto overridden = scheduleOptionsByName(args.opt);
+        if (!overridden.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         overridden.status().toString().c_str());
+            return 1;
+        }
+        options = overridden.value();
+    }
+    int threads = args.threads >= 0 ? args.threads : sweep.value().threads;
+    if (args.serial)
+        threads = 1;
+
+    const BatchCompiler batch(options, threads);
+    auto result = batch.run(sweep.value().jobs);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "batch failed: %s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+    std::printf("batch: %zu jobs, %lld ok, opt=%s, threads=%d\n",
+                result.value().entries.size(),
+                static_cast<long long>(result.value().okCount()),
+                options.toString().c_str(), threads);
+    std::fputs(result.value().table().c_str(), stdout);
+    return result.value().okCount()
+                   == static_cast<std::int64_t>(
+                          result.value().entries.size())
+               ? 0
+               : 1;
 }
 
 } // namespace
@@ -84,6 +131,10 @@ main(int argc, char **argv)
         auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
+        if (flag == "--help" || flag == "-h") {
+            printUsage(stdout, argv[0]);
+            return 0;
+        }
         if (flag == "--list-models") {
             for (const std::string &name : models::availableModels())
                 std::puts(name.c_str());
@@ -119,6 +170,28 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             args.opt = v;
+            args.opt_explicit = true;
+        } else if (flag == "--batch") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.batch_file = v;
+        } else if (flag == "--threads") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            char *end = nullptr;
+            const long parsed = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || parsed < 0) {
+                std::fprintf(stderr,
+                             "--threads expects a non-negative integer, "
+                             "got '%s'\n",
+                             v);
+                return 2;
+            }
+            args.threads = static_cast<int>(parsed);
+        } else if (flag == "--serial") {
+            args.serial = true;
         } else if (flag == "--print-flow") {
             args.print_flow = true;
             if (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -132,6 +205,13 @@ main(int argc, char **argv)
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             return usage(argv[0]);
         }
+    }
+    if (!args.batch_file.empty())
+        return runBatch(args);
+    if (args.threads >= 0 || args.serial) {
+        std::fprintf(stderr,
+                     "--threads/--serial only apply to --batch mode\n");
+        return usage(argv[0]);
     }
     if (args.model.empty() && args.model_file.empty())
         return usage(argv[0]);
@@ -170,7 +250,7 @@ main(int argc, char **argv)
         arch = std::move(preset).value();
     }
 
-    auto options = optionsFor(args.opt);
+    auto options = scheduleOptionsByName(args.opt);
     if (!options.isOk()) {
         std::fprintf(stderr, "%s\n", options.status().toString().c_str());
         return 1;

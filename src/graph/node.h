@@ -54,6 +54,12 @@ bool isDigitalCompute(OpKind kind);
 /** True for zero-cost metadata operators. */
 bool isShapeOnly(OpKind kind);
 
+// The defaulted comparison operators below require C++20; CMake enforces
+// cxx_std_20, and this guard turns an accidental -std=c++17 build into one
+// clear diagnostic instead of a cascade of operator== errors.
+static_assert(__cplusplus >= 202002L,
+              "cimmlc requires C++20 (defaulted operator==)");
+
 /** Attributes for kConv2d. */
 struct Conv2dAttrs {
     std::int64_t out_channels = 0;

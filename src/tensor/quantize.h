@@ -17,6 +17,11 @@
 
 namespace cimmlc {
 
+// The defaulted operator== below requires C++20 (see also graph/node.h);
+// CMake enforces cxx_std_20 project-wide.
+static_assert(__cplusplus >= 202002L,
+              "cimmlc requires C++20 (defaulted operator==)");
+
 /** Requantization parameters: out = clamp((acc + round) >> shift). */
 struct RequantParams {
     int shift = 8; //!< right-shift amount; 0 disables scaling

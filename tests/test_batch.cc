@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the batch compilation driver: sweep parsing, cross-product
+ * validation, per-job error isolation, and — the property the parallel
+ * driver stands on — byte-identical results between the serial loop and
+ * the concurrent run.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compiler/batch.h"
+
+namespace cimmlc {
+namespace {
+
+std::vector<BatchJob>
+smokeJobs()
+{
+    auto jobs = BatchCompiler::crossProduct(
+        {"mlp", "lenet5", "conv_relu_toy", "macro_cnn"},
+        {"isaac", "puma", "jia"});
+    EXPECT_TRUE(jobs.isOk()) << jobs.status().toString();
+    return jobs.value();
+}
+
+// ----- crossProduct ------------------------------------------------------
+
+TEST(BatchCompilerTest, CrossProductEnumeratesModelsTimesArchs)
+{
+    const std::vector<BatchJob> jobs = smokeJobs();
+    ASSERT_EQ(jobs.size(), 12u);
+    EXPECT_EQ(jobs[0].model, "mlp");
+    EXPECT_EQ(jobs[0].arch, "isaac");
+    EXPECT_EQ(jobs[11].model, "macro_cnn");
+    EXPECT_EQ(jobs[11].arch, "jia");
+}
+
+TEST(BatchCompilerTest, CrossProductRejectsUnknownModel)
+{
+    auto jobs = BatchCompiler::crossProduct({"resnet9000"}, {"isaac"});
+    ASSERT_FALSE(jobs.isOk());
+    EXPECT_EQ(jobs.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BatchCompilerTest, CrossProductRejectsUnknownArch)
+{
+    auto jobs = BatchCompiler::crossProduct({"mlp"}, {"tpu"});
+    ASSERT_FALSE(jobs.isOk());
+    EXPECT_EQ(jobs.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BatchCompilerTest, CrossProductRejectsEmptyAxes)
+{
+    EXPECT_FALSE(BatchCompiler::crossProduct({}, {"isaac"}).isOk());
+    EXPECT_FALSE(BatchCompiler::crossProduct({"mlp"}, {}).isOk());
+}
+
+// ----- run ---------------------------------------------------------------
+
+TEST(BatchCompilerTest, EmptyJobListIsAnError)
+{
+    const BatchCompiler batch;
+    EXPECT_FALSE(batch.run({}).isOk());
+}
+
+TEST(BatchCompilerTest, SerialRunCompilesEveryJob)
+{
+    const BatchCompiler batch(ScheduleOptions::full(), /*threads=*/1);
+    auto result = batch.run(smokeJobs());
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().entries.size(), 12u);
+    EXPECT_EQ(result.value().okCount(), 12);
+    for (const BatchEntry &entry : result.value().entries) {
+        EXPECT_TRUE(entry.status.isOk()) << entry.status.toString();
+        EXPECT_GT(entry.perf.latency_cycles, 0.0);
+        EXPECT_GT(entry.flow_statements, 0);
+        EXPECT_GT(entry.nodes, 0);
+    }
+}
+
+TEST(BatchCompilerTest, ParallelRunMatchesSerialByteForByte)
+{
+    const std::vector<BatchJob> jobs = smokeJobs();
+    const BatchCompiler serial(ScheduleOptions::full(), /*threads=*/1);
+    const BatchCompiler parallel(ScheduleOptions::full(), /*threads=*/4);
+
+    auto serial_result = serial.run(jobs);
+    auto parallel_result = parallel.run(jobs);
+    ASSERT_TRUE(serial_result.isOk());
+    ASSERT_TRUE(parallel_result.isOk());
+
+    // The rendered table is the user-visible artifact; identical tables
+    // mean identical ordering, statuses, and every formatted metric.
+    EXPECT_EQ(serial_result.value().table(),
+              parallel_result.value().table());
+
+    // Belt and braces: the raw numbers match exactly, not just their
+    // 6-significant-digit formatting.
+    ASSERT_EQ(serial_result.value().entries.size(),
+              parallel_result.value().entries.size());
+    for (std::size_t i = 0; i < serial_result.value().entries.size();
+         ++i) {
+        const BatchEntry &a = serial_result.value().entries[i];
+        const BatchEntry &b = parallel_result.value().entries[i];
+        EXPECT_EQ(a.job.model, b.job.model);
+        EXPECT_EQ(a.job.arch, b.job.arch);
+        EXPECT_EQ(a.perf.latency_cycles, b.perf.latency_cycles);
+        EXPECT_EQ(a.perf.energy.total(), b.perf.energy.total());
+        EXPECT_EQ(a.perf.avg_power_mw, b.perf.avg_power_mw);
+        EXPECT_EQ(a.flow_statements, b.flow_statements);
+    }
+}
+
+TEST(BatchCompilerTest, ParallelRunIsStableAcrossRepeats)
+{
+    const std::vector<BatchJob> jobs = smokeJobs();
+    const BatchCompiler batch(ScheduleOptions::full(), /*threads=*/4);
+    auto first = batch.run(jobs);
+    auto second = batch.run(jobs);
+    ASSERT_TRUE(first.isOk());
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ(first.value().table(), second.value().table());
+}
+
+TEST(BatchCompilerTest, PerJobFailureDoesNotPoisonTheBatch)
+{
+    // A bad job (unknown architecture) must fail alone while its
+    // neighbours succeed. (Capacity overflow cannot fail here: the
+    // scheduler falls back to weight reloading, so every model/preset
+    // pair compiles.)
+    const std::vector<BatchJob> jobs = {
+        {"mlp", "isaac"}, {"vgg7", "npu-9000"}, {"macro_cnn", "jain"}};
+    const BatchCompiler batch(ScheduleOptions::full(), /*threads=*/2);
+    auto result = batch.run(jobs);
+    ASSERT_TRUE(result.isOk());
+    ASSERT_EQ(result.value().entries.size(), 3u);
+    EXPECT_TRUE(result.value().entries[0].status.isOk());
+    EXPECT_FALSE(result.value().entries[1].status.isOk());
+    EXPECT_TRUE(result.value().entries[2].status.isOk());
+    EXPECT_EQ(result.value().okCount(), 2);
+    // The failed row still renders (with its status) in the table.
+    EXPECT_NE(result.value().table().find("vgg7"), std::string::npos);
+}
+
+TEST(BatchCompilerTest, UnknownModelInJobIsIsolated)
+{
+    const std::vector<BatchJob> jobs = {{"mlp", "isaac"},
+                                        {"not_a_model", "isaac"}};
+    const BatchCompiler batch(ScheduleOptions::full(), /*threads=*/2);
+    auto result = batch.run(jobs);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_TRUE(result.value().entries[0].status.isOk());
+    EXPECT_EQ(result.value().entries[1].status.code(),
+              StatusCode::kNotFound);
+}
+
+TEST(BatchCompilerTest, OptionsChangeTheSchedule)
+{
+    const std::vector<BatchJob> jobs = {{"lenet5", "isaac"}};
+    const BatchCompiler full(ScheduleOptions::full(), 1);
+    const BatchCompiler none(ScheduleOptions::none(), 1);
+    auto full_result = full.run(jobs);
+    auto none_result = none.run(jobs);
+    ASSERT_TRUE(full_result.isOk());
+    ASSERT_TRUE(none_result.isOk());
+    // Unoptimized latency must be strictly worse.
+    EXPECT_GT(none_result.value().entries[0].perf.latency_cycles,
+              full_result.value().entries[0].perf.latency_cycles);
+}
+
+// ----- sweep parsing -----------------------------------------------------
+
+TEST(SweepParseTest, ParsesFullSweep)
+{
+    auto sweep = sweepFromText(R"({
+        "models": ["mlp", "lenet5"],  # comments are kvjson extensions
+        "archs": ["isaac"],
+        "opt": "cg",
+        "threads": 3
+    })");
+    ASSERT_TRUE(sweep.isOk()) << sweep.status().toString();
+    EXPECT_EQ(sweep.value().jobs.size(), 2u);
+    EXPECT_EQ(sweep.value().threads, 3);
+    EXPECT_FALSE(sweep.value().options.mvm_pipeline);
+    EXPECT_TRUE(sweep.value().options.cg_pipeline);
+}
+
+TEST(SweepParseTest, DefaultsToFullOptAndAutoThreads)
+{
+    auto sweep = sweepFromText(
+        R"({"models": ["mlp"], "archs": ["puma"]})");
+    ASSERT_TRUE(sweep.isOk());
+    EXPECT_EQ(sweep.value().threads, 0);
+    EXPECT_TRUE(sweep.value().options.vvm_remap);
+}
+
+TEST(SweepParseTest, RejectsMissingOrEmptyAxes)
+{
+    EXPECT_FALSE(sweepFromText(R"({"archs": ["isaac"]})").isOk());
+    EXPECT_FALSE(
+        sweepFromText(R"({"models": [], "archs": ["isaac"]})").isOk());
+    EXPECT_FALSE(
+        sweepFromText(R"({"models": ["mlp"], "archs": [3]})").isOk());
+}
+
+TEST(SweepParseTest, RejectsBadOptAndThreads)
+{
+    EXPECT_FALSE(sweepFromText(
+                     R"({"models": ["mlp"], "archs": ["isaac"],
+                         "opt": "turbo"})")
+                     .isOk());
+    EXPECT_FALSE(sweepFromText(
+                     R"({"models": ["mlp"], "archs": ["isaac"],
+                         "threads": -2})")
+                     .isOk());
+}
+
+TEST(SweepParseTest, RejectsUnknownNamesUpFront)
+{
+    auto sweep = sweepFromText(
+        R"({"models": ["mlp", "alexnet"], "archs": ["isaac"]})");
+    ASSERT_FALSE(sweep.isOk());
+    EXPECT_EQ(sweep.status().code(), StatusCode::kNotFound);
+}
+
+} // namespace
+} // namespace cimmlc
