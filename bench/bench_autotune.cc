@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Auto-tuner DSE bench: reproduces the paper's per-configuration
+ * exploration tables (Figure 20(d) style) with the tuner doing the
+ * sweep, and checks the qualitative shape: the tuned configuration is
+ * never worse than the ScheduleOptions{} defaults, strictly better on
+ * the pinned (model, arch) pairs where segmentation granularity wins,
+ * and identical between serial and multi-threaded evaluation. Also
+ * reports the TuneCache effect for repeated model x arch pairs.
+ */
+#include <chrono>
+#include <cstdio>
+
+#include "arch/presets.h"
+#include "bench_util.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "graph/models.h"
+#include "sched/autotune.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("=== Auto-tuner design-space exploration ===");
+    ShapeChecker check;
+
+    TextTable table({"network", "arch", "objective", "default",
+                     "tuned", "config", "gain"});
+    const char *models[] = {"lenet5", "macro_cnn", "resnet18"};
+    const char *archs[] = {"isaac", "jain", "jia"};
+    for (const char *model : models) {
+        const Graph graph = models::byName(model);
+        for (const char *arch_name : archs) {
+            const CimArchitecture arch =
+                presets::byName(arch_name).value();
+            for (TuneObjective objective :
+                 {TuneObjective::kLatency, TuneObjective::kEdp}) {
+                const AutoTuner tuner(AutoTuneConfig{objective, 0});
+                auto result = tuner.tune(graph, arch);
+                if (!result.isOk()) {
+                    check.require(false,
+                                  std::string(model) + " x " + arch_name
+                                      + ": " +
+                                      result.status().toString());
+                    continue;
+                }
+                const TuneResult &r = result.value();
+                const double base =
+                    r.defaults().objectiveValue(objective);
+                const double tuned =
+                    r.best().objectiveValue(objective);
+                check.require(tuned <= base,
+                              std::string(model) + " x " + arch_name
+                                  + ": tuned never worse than default");
+                table.addRow({model, arch_name,
+                              tuneObjectiveName(objective),
+                              strformat("%.4g", base),
+                              strformat("%.4g", tuned),
+                              r.best().options.toString(),
+                              strformat("%.2fx",
+                                        r.speedupOverDefault())});
+            }
+        }
+        table.addSeparator();
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    // Pinned strict wins: cheap-write chips trade a reload for more
+    // duplication budget via the seg<=N knob.
+    for (const char *model : {"lenet5", "macro_cnn"}) {
+        const AutoTuner tuner(
+            AutoTuneConfig{TuneObjective::kLatency, 0});
+        auto result = tuner.tune(models::byName(model),
+                                 presets::jainJssc21());
+        check.require(result.isOk() &&
+                          result.value().best().latency_cycles <
+                              result.value().defaults().latency_cycles,
+                      std::string(model)
+                          + " x jain: tuner strictly beats defaults");
+    }
+
+    // Determinism: serial and parallel candidate evaluation produce the
+    // same report bytes.
+    {
+        const Graph graph = models::byName("macro_cnn");
+        const CimArchitecture arch = presets::jainJssc21();
+        const AutoTuner serial(
+            AutoTuneConfig{TuneObjective::kLatency, 1});
+        const AutoTuner parallel(
+            AutoTuneConfig{TuneObjective::kLatency, 4});
+        auto a = serial.tune(graph, arch);
+        auto b = parallel.tune(graph, arch);
+        check.require(a.isOk() && b.isOk() &&
+                          a.value().table() == b.value().table(),
+                      "serial and 4-thread tuning reports are "
+                      "byte-identical");
+    }
+
+    // Cache effect: a repeated model x arch pair is served from the
+    // memo (every candidate hits; the rerun must not be slower by more
+    // than noise).
+    {
+        const Graph graph = models::byName("resnet18");
+        const CimArchitecture arch = presets::isaacBaseline();
+        TuneCache cache;
+        const AutoTuner tuner(
+            AutoTuneConfig{TuneObjective::kLatency, 1, &cache});
+        auto start = std::chrono::steady_clock::now();
+        auto cold = tuner.tune(graph, arch);
+        const double cold_ms = millisSince(start);
+        start = std::chrono::steady_clock::now();
+        auto warm = tuner.tune(graph, arch);
+        const double warm_ms = millisSince(start);
+        check.require(
+            cold.isOk() && warm.isOk() &&
+                warm.value().cache_hits ==
+                    static_cast<std::int64_t>(
+                        warm.value().candidates.size()),
+            "second tuning run is fully served from the cache");
+        std::printf("cache: cold %.1f ms, warm %.1f ms (%zu candidate "
+                    "evaluations memoized)\n",
+                    cold_ms, warm_ms, cache.size());
+    }
+
+    return check.finish("autotune");
+}

@@ -13,10 +13,16 @@ namespace cimmlc {
 
 namespace {
 
+/** Per-run tuning context shared by every job of one sweep. */
+struct TuneContext {
+    TuneObjective objective = TuneObjective::kLatency;
+    TuneCache *cache = nullptr; //!< nullptr = tuning disabled
+};
+
 /** Runs one job into @p entry; never throws or aborts on bad names. */
 void
 compileJob(const BatchJob &job, const ScheduleOptions &options,
-           BatchEntry &entry)
+           const TuneContext &tune, BatchEntry &entry)
 {
     entry.job = job;
 
@@ -38,7 +44,24 @@ compileJob(const BatchJob &job, const ScheduleOptions &options,
     entry.nodes = static_cast<std::int64_t>(graph.nodeCount());
     entry.weights = graph.totalWeights();
 
-    const CimCompiler compiler(std::move(arch).value(), options);
+    ScheduleOptions job_options = options;
+    if (tune.cache != nullptr) {
+        // Job-level parallelism already fills the pool; tune serially
+        // inside the job so nested pools do not oversubscribe.
+        const AutoTuner tuner(
+            AutoTuneConfig{tune.objective, /*threads=*/1, tune.cache});
+        auto tuned = tuner.tune(graph, arch.value());
+        if (!tuned.isOk()) {
+            entry.status = tuned.status().withContext(
+                "job '" + job.model + " x " + job.arch + "'");
+            return;
+        }
+        job_options = tuned.value().best().options;
+        entry.tuned = true;
+    }
+    entry.config = job_options.toString();
+
+    const CimCompiler compiler(std::move(arch).value(), job_options);
     auto result = compiler.compile(graph);
     if (!result.isOk()) {
         entry.status = result.status().withContext(
@@ -66,7 +89,8 @@ std::string
 BatchResult::table() const
 {
     TextTable table({"model", "arch", "latency (cyc)", "energy (pJ)",
-                     "avg power (mW)", "xbar util", "flow ops", "status"});
+                     "avg power (mW)", "xbar util", "flow ops", "config",
+                     "status"});
     for (const BatchEntry &entry : entries) {
         if (entry.status.isOk()) {
             table.addRow({entry.job.model, entry.job.arch,
@@ -77,10 +101,12 @@ BatchResult::table() const
                                     entry.perf.crossbar_utilization * 100.0),
                           strformat("%lld", static_cast<long long>(
                                                 entry.flow_statements)),
+                          entry.tuned ? "tuned: " + entry.config
+                                      : entry.config,
                           "ok"});
         } else {
             table.addRow({entry.job.model, entry.job.arch, "-", "-", "-",
-                          "-", "-", entry.status.toString()});
+                          "-", "-", "-", entry.status.toString()});
         }
     }
     return table.render();
@@ -95,17 +121,23 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
     BatchResult result;
     result.entries.resize(jobs.size());
 
+    // One memo for the whole sweep: jobs that repeat a model x arch
+    // pair reuse every candidate evaluation. Cached values are
+    // bit-identical to fresh ones, so hits cannot perturb the output.
+    TuneCache cache;
+    const TuneContext tune{objective_, tune_ ? &cache : nullptr};
+
     if (threads_ == 1) {
         // Serial reference path: the determinism tests compare against it.
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            compileJob(jobs[i], options_, result.entries[i]);
+            compileJob(jobs[i], options_, tune, result.entries[i]);
         return result;
     }
 
     ThreadPool pool(threads_);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        pool.submit([this, &jobs, &result, i] {
-            compileJob(jobs[i], options_, result.entries[i]);
+        pool.submit([this, &jobs, &result, &tune, i] {
+            compileJob(jobs[i], options_, tune, result.entries[i]);
         });
     }
     pool.wait();
@@ -193,6 +225,10 @@ sweepFromConfig(const ConfigValue &doc)
     sweep.threads = static_cast<int>(doc.getIntOr("threads", 0));
     if (sweep.threads < 0)
         return invalidArgument("sweep 'threads' must be >= 0");
+    sweep.tune = doc.getBoolOr("tune", false);
+    CIMMLC_ASSIGN_OR_RETURN(
+        sweep.objective,
+        parseTuneObjective(doc.getStringOr("objective", "latency")));
     return sweep;
 }
 

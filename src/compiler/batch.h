@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "compiler/compiler.h"
 #include "perfsim/perf_model.h"
+#include "sched/autotune.h"
 #include "sched/options.h"
 
 namespace cimmlc {
@@ -42,6 +43,8 @@ struct BatchEntry {
     std::int64_t nodes = 0;   //!< workload graph size
     std::int64_t weights = 0; //!< workload weight count
     std::int64_t flow_statements = 0; //!< emitted meta-operator count
+    std::string config;       //!< ScheduleOptions the job compiled with
+    bool tuned = false;       //!< config came from the auto-tuner
 };
 
 /** Aggregated sweep results, in job-submission order. */
@@ -60,6 +63,8 @@ struct BatchSweep {
     std::vector<BatchJob> jobs;
     ScheduleOptions options;
     int threads = 0; //!< 0 = one per hardware thread
+    bool tune = false; //!< auto-tune each job ("tune": true)
+    TuneObjective objective = TuneObjective::kLatency;
 };
 
 /**
@@ -87,6 +92,23 @@ class BatchCompiler
     int threads() const { return threads_; }
 
     /**
+     * Auto-tunes every job before compiling it: each job is compiled
+     * with the configuration the AutoTuner selects for its (model,
+     * arch) pair under @p objective instead of the fixed options. One
+     * TuneCache is shared across the run, so jobs repeating a model x
+     * arch pair reuse the evaluated candidates.
+     */
+    void
+    setTuning(bool enabled,
+              TuneObjective objective = TuneObjective::kLatency)
+    {
+        tune_ = enabled;
+        objective_ = objective;
+    }
+    bool tuning() const { return tune_; }
+    TuneObjective objective() const { return objective_; }
+
+    /**
      * Runs every job; per-job failures (unknown name, infeasible
      * mapping) are recorded in the entry, not propagated. Entries are
      * always in @p jobs order regardless of thread timing. The call
@@ -106,6 +128,8 @@ class BatchCompiler
   private:
     ScheduleOptions options_;
     int threads_;
+    bool tune_ = false;
+    TuneObjective objective_ = TuneObjective::kLatency;
 };
 
 /** Maps an --opt level name (none|cg|cg+mvm|full) to ScheduleOptions. */
@@ -118,7 +142,9 @@ StatusOr<ScheduleOptions> scheduleOptionsByName(const std::string &level);
  *     "models": ["resnet18", "vgg16"],  # required, model preset keys
  *     "archs": ["isaac", "puma"],       # required, arch preset keys
  *     "opt": "full",                    # none | cg | cg+mvm | full
- *     "threads": 0                      # 0 = hardware concurrency
+ *     "threads": 0,                     # 0 = hardware concurrency
+ *     "tune": false,                    # auto-tune each job's options
+ *     "objective": "latency"            # latency | energy | edp
  *   }
  * @endcode
  */

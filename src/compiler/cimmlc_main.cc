@@ -13,15 +13,21 @@
  *   --arch NAME         architecture preset (see --list-archs)
  *   --arch-file PATH    kvjson Abs-arch description
  *   --opt LEVEL         none | cg | cg+mvm | full      (default full)
+ *   --autotune          search the schedule-option space and compile
+ *                       with the best configuration found
+ *   --objective NAME    tuning objective: latency | energy | edp
+ *   --autotune-verbose  print the per-candidate DSE report table
  *   --print-flow [N]    print the meta-operator flow (first N stmts)
  *   --print-schedule    print the per-operator mapping report
  *   --verify            unroll, execute, and check against the oracle
  *   --batch PATH        compile a models x archs sweep concurrently
- *   --threads N         batch worker threads (0 = hardware concurrency)
- *   --serial            force the serial batch path (reference/debug)
+ *   --threads N         worker threads for --batch / --autotune
+ *                       (0 = hardware concurrency)
+ *   --serial            force the serial path (reference/debug)
  *   --list-models / --list-archs
  *   --help / -h
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +39,7 @@
 #include "compiler/batch.h"
 #include "compiler/compiler.h"
 #include "funcsim/verify.h"
+#include "sched/autotune.h"
 #include "graph/models.h"
 #include "graph/serialize.h"
 #include "mop/printer.h"
@@ -51,6 +58,10 @@ struct CliArgs {
     std::string batch_file;
     int threads = -1; //!< -1 = use the sweep file's setting
     bool serial = false;
+    bool autotune = false;
+    bool autotune_verbose = false;
+    std::string objective = "latency";
+    bool objective_explicit = false;
     bool print_flow = false;
     std::int64_t flow_limit = 40;
     bool print_schedule = false;
@@ -64,9 +75,13 @@ printUsage(std::FILE *out, const char *argv0)
         out,
         "usage: %s --model NAME | --model-file PATH\n"
         "          [--arch NAME | --arch-file PATH] [--opt LEVEL]\n"
+        "          [--autotune [--objective latency|energy|edp] "
+        "[--autotune-verbose]]\n"
+        "          [--threads N] [--serial]\n"
         "          [--print-flow [N]] [--print-schedule] [--verify]\n"
-        "       %s --batch SWEEP.json [--opt LEVEL] [--threads N] "
-        "[--serial]\n"
+        "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
+        "[--objective NAME]\n"
+        "          [--threads N] [--serial]\n"
         "          [--list-models] [--list-archs] [--help]\n",
         argv0, argv0);
 }
@@ -101,17 +116,43 @@ runBatch(const CliArgs &args)
     if (args.serial)
         threads = 1;
 
-    const BatchCompiler batch(options, threads);
+    const bool tune = args.autotune || sweep.value().tune;
+    if (tune && args.opt_explicit) {
+        std::fprintf(stderr,
+                     "note: --opt is ignored when tuning — the tuner "
+                     "searches the whole option space\n");
+    }
+    TuneObjective objective = sweep.value().objective;
+    if (args.objective_explicit) {
+        auto parsed = parseTuneObjective(args.objective);
+        if (!parsed.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().toString().c_str());
+            return 1;
+        }
+        objective = parsed.value();
+    }
+
+    BatchCompiler batch(options, threads);
+    batch.setTuning(tune, objective);
     auto result = batch.run(sweep.value().jobs);
     if (!result.isOk()) {
         std::fprintf(stderr, "batch failed: %s\n",
                      result.status().toString().c_str());
         return 1;
     }
-    std::printf("batch: %zu jobs, %lld ok, opt=%s, threads=%d\n",
-                result.value().entries.size(),
-                static_cast<long long>(result.value().okCount()),
-                options.toString().c_str(), threads);
+    if (tune) {
+        std::printf("batch: %zu jobs, %lld ok, tuned per job "
+                    "(objective=%s), threads=%d\n",
+                    result.value().entries.size(),
+                    static_cast<long long>(result.value().okCount()),
+                    tuneObjectiveName(objective), threads);
+    } else {
+        std::printf("batch: %zu jobs, %lld ok, opt=%s, threads=%d\n",
+                    result.value().entries.size(),
+                    static_cast<long long>(result.value().okCount()),
+                    options.toString().c_str(), threads);
+    }
     std::fputs(result.value().table().c_str(), stdout);
     return result.value().okCount()
                    == static_cast<std::int64_t>(
@@ -192,6 +233,18 @@ main(int argc, char **argv)
             args.threads = static_cast<int>(parsed);
         } else if (flag == "--serial") {
             args.serial = true;
+        } else if (flag == "--autotune") {
+            args.autotune = true;
+        } else if (flag == "--autotune-verbose") {
+            args.autotune = true;
+            args.autotune_verbose = true;
+        } else if (flag == "--objective") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.objective = v;
+            args.objective_explicit = true;
+            args.autotune = true;
         } else if (flag == "--print-flow") {
             args.print_flow = true;
             if (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -208,9 +261,9 @@ main(int argc, char **argv)
     }
     if (!args.batch_file.empty())
         return runBatch(args);
-    if (args.threads >= 0 || args.serial) {
-        std::fprintf(stderr,
-                     "--threads/--serial only apply to --batch mode\n");
+    if ((args.threads >= 0 || args.serial) && !args.autotune) {
+        std::fprintf(stderr, "--threads/--serial only apply to --batch "
+                             "and --autotune modes\n");
         return usage(argv[0]);
     }
     if (args.model.empty() && args.model_file.empty())
@@ -255,6 +308,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", options.status().toString().c_str());
         return 1;
     }
+    ScheduleOptions chosen = options.value();
 
     // ----- compile ---------------------------------------------------------
     std::fputs(arch.toString().c_str(), stdout);
@@ -262,7 +316,36 @@ main(int argc, char **argv)
                 graph.name().c_str(), graph.nodeCount(),
                 static_cast<long long>(graph.totalWeights()));
 
-    CimCompiler compiler(arch, options.value());
+    // ----- optional schedule auto-tuning ------------------------------------
+    if (args.autotune) {
+        if (args.opt_explicit) {
+            std::fprintf(stderr,
+                         "note: --opt is ignored with --autotune — the "
+                         "tuner searches the whole option space\n");
+        }
+        auto objective = parseTuneObjective(args.objective);
+        if (!objective.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         objective.status().toString().c_str());
+            return 1;
+        }
+        AutoTuneConfig config;
+        config.objective = objective.value();
+        config.threads = args.serial ? 1 : std::max(args.threads, 0);
+        const AutoTuner tuner(config);
+        auto tuned = tuner.tune(graph, arch);
+        if (!tuned.isOk()) {
+            std::fprintf(stderr, "autotune failed: %s\n",
+                         tuned.status().toString().c_str());
+            return 1;
+        }
+        if (args.autotune_verbose)
+            std::fputs(tuned.value().table().c_str(), stdout);
+        std::printf("%s\n", tuned.value().summary().c_str());
+        chosen = tuned.value().best().options;
+    }
+
+    CimCompiler compiler(arch, chosen);
     auto result = compiler.compile(graph);
     if (!result.isOk()) {
         std::fprintf(stderr, "compile failed: %s\n",
@@ -293,8 +376,7 @@ main(int argc, char **argv)
             t.fillRandom(rng, -16, 16);
             inputs.emplace(in, std::move(t));
         }
-        auto report = verifyCompiledFlow(graph, arch, options.value(),
-                                         inputs);
+        auto report = verifyCompiledFlow(graph, arch, chosen, inputs);
         if (!report.isOk()) {
             std::fprintf(stderr, "verification failed to run: %s\n",
                          report.status().toString().c_str());

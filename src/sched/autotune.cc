@@ -1,0 +1,397 @@
+#include "sched/autotune.h"
+
+#include <atomic>
+#include <limits>
+
+#include "common/strutil.h"
+#include "common/table.h"
+#include "common/threadpool.h"
+#include "perfsim/perf_model.h"
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+
+namespace {
+
+// Stable bit layout of the candidate encoding. The encoding doubles as
+// the tie-break key, so the layout is part of the tuner's deterministic
+// output contract — append bits, never reorder them.
+constexpr std::uint32_t kCgDuplicationBit = 1u << 0;
+constexpr std::uint32_t kCgPipelineBit = 1u << 1;
+constexpr std::uint32_t kMvmDuplicationBit = 1u << 2;
+constexpr std::uint32_t kMvmPipelineBit = 1u << 3;
+constexpr std::uint32_t kVvmRemapBit = 1u << 4;
+constexpr std::uint32_t kBitsToCrossbarsBit = 1u << 5;
+// Bits 6-7: segmentation granularity, an index into kSegmentCaps.
+constexpr std::uint32_t kSegmentCapShift = 6;
+constexpr std::uint32_t kSegmentCapMask = 3u << kSegmentCapShift;
+constexpr std::int64_t kSegmentCaps[] = {0, 1, 2, 4};
+constexpr std::uint32_t kEncodingSpace = 1u << 8;
+
+/** The option clamp scheduleGraph applies for @p mode. */
+ScheduleOptions
+clampToMode(ScheduleOptions options, ComputeMode mode)
+{
+    if (mode == ComputeMode::kCM) {
+        options.mvm_duplication = false;
+        options.mvm_pipeline = false;
+        options.vvm_remap = false;
+    } else if (mode == ComputeMode::kXBM) {
+        options.vvm_remap = false;
+    }
+    return options;
+}
+
+/** Bits a candidate may not set under @p mode. */
+std::uint32_t
+forbiddenBits(ComputeMode mode)
+{
+    switch (mode) {
+      case ComputeMode::kCM:
+        return kMvmDuplicationBit | kMvmPipelineBit | kVvmRemapBit;
+      case ComputeMode::kXBM:
+        return kVvmRemapBit;
+      case ComputeMode::kWLM:
+        return 0;
+    }
+    return 0;
+}
+
+/**
+ * Order-sensitive FNV-1a over the graph structure (node kinds, arity,
+ * output dims in topo order), so graphs that agree on name and
+ * aggregate totals but differ structurally never share a memo entry.
+ */
+std::uint64_t
+graphStructureHash(const Graph &graph)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](std::uint64_t value) {
+        hash ^= value;
+        hash *= 1099511628211ull;
+    };
+    for (NodeId id : graph.topoOrder()) {
+        const Node &node = graph.node(id);
+        mix(static_cast<std::uint64_t>(node.kind));
+        mix(node.inputs.size());
+        for (std::int64_t dim : graph.tensor(node.output).dims)
+            mix(static_cast<std::uint64_t>(dim));
+    }
+    return hash;
+}
+
+void
+evaluateCandidate(const Graph &graph, const CimArchitecture &arch,
+                  TuneCandidate &candidate, TuneCache *cache,
+                  std::atomic<std::int64_t> &cache_hits)
+{
+    std::string key;
+    if (cache != nullptr) {
+        key = TuneCache::fingerprint(graph, arch, candidate.encoding);
+        if (auto hit = cache->lookup(key)) {
+            candidate.status = hit->status;
+            candidate.latency_cycles = hit->latency_cycles;
+            candidate.energy_pj = hit->energy_pj;
+            candidate.edp = hit->edp;
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+
+    auto fill = [&]() -> Status {
+        CIMMLC_ASSIGN_OR_RETURN(
+            const Schedule schedule,
+            scheduleGraph(graph, arch, candidate.options));
+        CIMMLC_ASSIGN_OR_RETURN(const PerfReport perf,
+                                evaluateSchedule(graph, arch, schedule));
+        candidate.latency_cycles = perf.latency_cycles;
+        candidate.energy_pj = perf.energy.total();
+        candidate.edp = candidate.latency_cycles * candidate.energy_pj;
+        return Status::ok();
+    };
+    candidate.status = fill();
+
+    if (cache != nullptr) {
+        cache->insert(key,
+                      TuneCache::Entry{candidate.status,
+                                       candidate.latency_cycles,
+                                       candidate.energy_pj,
+                                       candidate.edp});
+    }
+}
+
+} // namespace
+
+const char *
+tuneObjectiveName(TuneObjective objective)
+{
+    switch (objective) {
+      case TuneObjective::kLatency: return "latency";
+      case TuneObjective::kEnergy: return "energy";
+      case TuneObjective::kEdp: return "edp";
+    }
+    return "?";
+}
+
+StatusOr<TuneObjective>
+parseTuneObjective(const std::string &text)
+{
+    const std::string key = toLower(trim(text));
+    if (key == "latency")
+        return TuneObjective::kLatency;
+    if (key == "energy")
+        return TuneObjective::kEnergy;
+    if (key == "edp")
+        return TuneObjective::kEdp;
+    return invalidArgument("unknown tuning objective '" + text
+                           + "' (expected latency | energy | edp)");
+}
+
+double
+TuneCandidate::objectiveValue(TuneObjective objective) const
+{
+    switch (objective) {
+      case TuneObjective::kLatency: return latency_cycles;
+      case TuneObjective::kEnergy: return energy_pj;
+      case TuneObjective::kEdp: return edp;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+double
+TuneResult::speedupOverDefault() const
+{
+    if (!defaults().status.isOk() || !best().status.isOk())
+        return 1.0;
+    const double base = defaults().objectiveValue(objective);
+    const double tuned = best().objectiveValue(objective);
+    return tuned > 0.0 ? base / tuned : 1.0;
+}
+
+std::string
+TuneResult::table() const
+{
+    TextTable table({"config", "latency (cyc)", "energy (pJ)", "EDP",
+                     "note"});
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const TuneCandidate &candidate = candidates[i];
+        std::string note;
+        if (i == best_index)
+            note = i == default_index ? "<- best (default)" : "<- best";
+        else if (i == default_index)
+            note = "default";
+        if (candidate.status.isOk()) {
+            table.addRow({candidate.options.toString(),
+                          strformat("%.6g", candidate.latency_cycles),
+                          strformat("%.6g", candidate.energy_pj),
+                          strformat("%.6g", candidate.edp), note});
+        } else {
+            table.addRow({candidate.options.toString(), "-", "-", "-",
+                          candidate.status.toString()});
+        }
+    }
+    return table.render();
+}
+
+std::string
+TuneResult::summary() const
+{
+    return strformat(
+        "autotune[%s]: %zu candidates, best=%s (%s %.6g, %.3gx better "
+        "than default)",
+        tuneObjectiveName(objective), candidates.size(),
+        best().options.toString().c_str(), tuneObjectiveName(objective),
+        best().objectiveValue(objective), speedupOverDefault());
+}
+
+std::optional<TuneCache::Entry>
+TuneCache::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    ++hits_;
+    return it->second;
+}
+
+void
+TuneCache::insert(const std::string &key, const Entry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // First insert wins; concurrent evaluators of the same key computed
+    // identical values, so the choice does not matter.
+    entries_.emplace(key, entry);
+}
+
+std::int64_t
+TuneCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+TuneCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::string
+TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
+                       std::uint32_t encoding)
+{
+    // Identity of the evaluation inputs: graph structure summarized by
+    // name + size + work, architecture by every cost-relevant parameter.
+    return strformat(
+        "%s|n%zu|w%lld|m%lld|h%016llx||%s|%s|c%lldx%lld|x%lldx%lld|"
+        "r%lldx%lld|pr%lld|dac%d|adc%d|ct%d|cb%d|wb%d|ab%d|"
+        "bw%.17g/%.17g/%.17g|alu%.17g/%.17g||o%u",
+        graph.name().c_str(), graph.nodeCount(),
+        static_cast<long long>(graph.totalWeights()),
+        static_cast<long long>(graph.totalMacs()),
+        static_cast<unsigned long long>(graphStructureHash(graph)),
+        arch.name.c_str(),
+        computeModeName(arch.mode),
+        static_cast<long long>(arch.chip.core_rows),
+        static_cast<long long>(arch.chip.core_cols),
+        static_cast<long long>(arch.core.xb_rows),
+        static_cast<long long>(arch.core.xb_cols),
+        static_cast<long long>(arch.xbar.rows),
+        static_cast<long long>(arch.xbar.cols),
+        static_cast<long long>(arch.xbar.parallel_row),
+        arch.xbar.dac_bits, arch.xbar.adc_bits,
+        static_cast<int>(arch.xbar.cell_type), arch.xbar.cell_bits,
+        arch.weight_bits, arch.activation_bits,
+        arch.chip.core_noc_bandwidth, arch.chip.l0_bandwidth,
+        arch.core.l1_bandwidth, arch.chip.alu_ops_per_cycle,
+        arch.core.alu_ops_per_cycle, encoding);
+}
+
+std::uint32_t
+AutoTuner::encodeOptions(const ScheduleOptions &options)
+{
+    std::uint32_t encoding = 0;
+    if (options.cg_duplication)
+        encoding |= kCgDuplicationBit;
+    if (options.cg_pipeline)
+        encoding |= kCgPipelineBit;
+    if (options.mvm_duplication)
+        encoding |= kMvmDuplicationBit;
+    if (options.mvm_pipeline)
+        encoding |= kMvmPipelineBit;
+    if (options.vvm_remap)
+        encoding |= kVvmRemapBit;
+    if (options.binding.bit_binding == XbarDim::kXB)
+        encoding |= kBitsToCrossbarsBit;
+    // Nearest lattice point from below; exact for the tuner's own
+    // candidates, which only use kSegmentCaps values.
+    std::uint32_t cap_index = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        if (options.segment_max_nodes >= kSegmentCaps[i])
+            cap_index = i;
+    }
+    if (options.segment_max_nodes <= 0)
+        cap_index = 0;
+    encoding |= cap_index << kSegmentCapShift;
+    return encoding;
+}
+
+ScheduleOptions
+AutoTuner::decodeOptions(std::uint32_t encoding)
+{
+    ScheduleOptions options;
+    options.cg_duplication = (encoding & kCgDuplicationBit) != 0;
+    options.cg_pipeline = (encoding & kCgPipelineBit) != 0;
+    options.mvm_duplication = (encoding & kMvmDuplicationBit) != 0;
+    options.mvm_pipeline = (encoding & kMvmPipelineBit) != 0;
+    options.vvm_remap = (encoding & kVvmRemapBit) != 0;
+    options.binding = (encoding & kBitsToCrossbarsBit) != 0
+                          ? DimensionBinding::bitsToCrossbars()
+                          : DimensionBinding::bitsToColumns();
+    options.segment_max_nodes =
+        kSegmentCaps[(encoding & kSegmentCapMask) >> kSegmentCapShift];
+    return options;
+}
+
+std::vector<ScheduleOptions>
+AutoTuner::enumerateCandidates(ComputeMode mode)
+{
+    const std::uint32_t forbidden = forbiddenBits(mode);
+    std::vector<ScheduleOptions> candidates;
+    for (std::uint32_t encoding = 0; encoding < kEncodingSpace;
+         ++encoding) {
+        if ((encoding & forbidden) != 0)
+            continue;
+        candidates.push_back(decodeOptions(encoding));
+    }
+    return candidates;
+}
+
+StatusOr<TuneResult>
+AutoTuner::tune(const Graph &graph, const CimArchitecture &arch) const
+{
+    TuneResult result;
+    result.objective = config_.objective;
+
+    const std::uint32_t default_encoding =
+        encodeOptions(clampToMode(ScheduleOptions{}, arch.mode));
+    for (const ScheduleOptions &options :
+         enumerateCandidates(arch.mode)) {
+        TuneCandidate candidate;
+        candidate.encoding = encodeOptions(options);
+        candidate.options = options;
+        if (candidate.encoding == default_encoding)
+            result.default_index = result.candidates.size();
+        result.candidates.push_back(candidate);
+    }
+
+    std::atomic<std::int64_t> cache_hits{0};
+    if (config_.threads == 1) {
+        // Serial reference path: the determinism tests compare against it.
+        for (TuneCandidate &candidate : result.candidates)
+            evaluateCandidate(graph, arch, candidate, config_.cache,
+                              cache_hits);
+    } else {
+        ThreadPool pool(config_.threads);
+        for (TuneCandidate &candidate : result.candidates) {
+            pool.submit([this, &graph, &arch, &candidate, &cache_hits] {
+                evaluateCandidate(graph, arch, candidate, config_.cache,
+                                  cache_hits);
+            });
+        }
+        pool.wait();
+    }
+    result.cache_hits = cache_hits.load();
+
+    // Objective minimum with stable tie-breaking: candidates are in
+    // ascending encoding order; ties on the objective fall back to EDP
+    // (so e.g. an energy-tied field still picks the fastest config) and
+    // then to the lowest encoding. Only strictly better keys move the
+    // choice, so the winner is independent of evaluation timing.
+    bool found = false;
+    double best_value = std::numeric_limits<double>::infinity();
+    double best_edp = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+        const TuneCandidate &candidate = result.candidates[i];
+        if (!candidate.status.isOk())
+            continue;
+        const double value =
+            candidate.objectiveValue(config_.objective);
+        if (!found || value < best_value
+            || (value == best_value && candidate.edp < best_edp)) {
+            found = true;
+            best_value = value;
+            best_edp = candidate.edp;
+            result.best_index = i;
+        }
+    }
+    if (!found)
+        return result.candidates.front().status.withContext(
+            "autotune: no feasible candidate for '" + graph.name()
+            + "' on '" + arch.name + "'");
+    return result;
+}
+
+} // namespace cimmlc

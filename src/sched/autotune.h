@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cost-model-guided schedule auto-tuning: the design-space exploration
+ * the paper performs by hand in Sections 5-6 (CG duplication/pipelining,
+ * MVM duplication/pipelining, VVM remap, dimension binding), automated.
+ *
+ * The tuner enumerates every legal `ScheduleOptions x DimensionBinding`
+ * point for an architecture — clamped by its ComputeMode exactly as
+ * `scheduleGraph` clamps, so a CM chip never wastes candidates on
+ * MVM/VVM knobs — evaluates each point through the scheduler and the
+ * analytic performance model, and returns the best configuration under a
+ * selectable objective. Candidate evaluation fans out over the
+ * work-stealing ThreadPool; results are independent of thread count
+ * because every candidate owns a pre-assigned slot and ties break on the
+ * stable option encoding.
+ */
+#ifndef CIMMLC_SCHED_AUTOTUNE_H
+#define CIMMLC_SCHED_AUTOTUNE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "sched/options.h"
+
+namespace cimmlc {
+
+/** What the tuner minimizes. */
+enum class TuneObjective {
+    kLatency, //!< total latency cycles (incl. reload)
+    kEnergy,  //!< total energy, pJ
+    kEdp,     //!< energy-delay product (cycles x pJ)
+};
+
+const char *tuneObjectiveName(TuneObjective objective);
+StatusOr<TuneObjective> parseTuneObjective(const std::string &text);
+
+/** One evaluated point of the schedule-option design space. */
+struct TuneCandidate {
+    //! stable identity: bit-packed option flags (see encodeOptions)
+    std::uint32_t encoding = 0;
+    ScheduleOptions options;
+    Status status; //!< evaluation outcome; metrics valid iff OK
+    double latency_cycles = 0.0;
+    double energy_pj = 0.0;
+    double edp = 0.0; //!< latency_cycles * energy_pj
+
+    double objectiveValue(TuneObjective objective) const;
+};
+
+/** Outcome of one tuning run. */
+struct TuneResult {
+    TuneObjective objective = TuneObjective::kLatency;
+    //! candidates in ascending encoding order (thread-count independent)
+    std::vector<TuneCandidate> candidates;
+    std::size_t best_index = 0;
+    std::size_t default_index = 0; //!< ScheduleOptions{} defaults
+    std::int64_t cache_hits = 0;   //!< memoized evaluations this run
+
+    const TuneCandidate &best() const { return candidates[best_index]; }
+    const TuneCandidate &defaults() const
+    {
+        return candidates[default_index];
+    }
+
+    /** Objective improvement of best over the defaults (>= 1.0). */
+    double speedupOverDefault() const;
+
+    /** Per-candidate DSE report table (the paper's Figure-20d style). */
+    std::string table() const;
+
+    /** One-line verdict for CLI output. */
+    std::string summary() const;
+};
+
+/**
+ * Thread-safe memo of evaluated (graph, arch, options) points, so batch
+ * sweeps that share a model x arch pair never re-evaluate a candidate.
+ * Values are bit-identical to a fresh evaluation, which keeps cached and
+ * uncached runs byte-identical.
+ */
+class TuneCache
+{
+  public:
+    struct Entry {
+        Status status;
+        double latency_cycles = 0.0;
+        double energy_pj = 0.0;
+        double edp = 0.0;
+    };
+
+    std::optional<Entry> lookup(const std::string &key) const;
+    void insert(const std::string &key, const Entry &entry);
+
+    std::int64_t hits() const;
+    std::size_t size() const;
+
+    /** Memo key for one (graph, arch, options) evaluation. */
+    static std::string fingerprint(const Graph &graph,
+                                   const CimArchitecture &arch,
+                                   std::uint32_t encoding);
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    mutable std::int64_t hits_ = 0;
+};
+
+/** Tuner configuration. */
+struct AutoTuneConfig {
+    TuneObjective objective = TuneObjective::kLatency;
+    int threads = 0;          //!< 0 = hardware concurrency, 1 = serial
+    TuneCache *cache = nullptr; //!< optional shared memo (not owned)
+};
+
+/**
+ * Exhaustive schedule auto-tuner.
+ *
+ * @code
+ *   AutoTuner tuner({TuneObjective::kEdp});
+ *   auto result = tuner.tune(models::resnet18(), presets::puma());
+ *   CimCompiler compiler(arch, result.value().best().options);
+ * @endcode
+ */
+class AutoTuner
+{
+  public:
+    explicit AutoTuner(AutoTuneConfig config = {}) : config_(config) {}
+
+    const AutoTuneConfig &config() const { return config_; }
+
+    /**
+     * Evaluates every legal candidate and selects the objective minimum.
+     * Per-candidate failures (infeasible mapping) are recorded in the
+     * candidate entry; the call fails only when the graph is invalid or
+     * no candidate is feasible.
+     */
+    StatusOr<TuneResult> tune(const Graph &graph,
+                              const CimArchitecture &arch) const;
+
+    /**
+     * The legal candidate set for @p mode, ascending by encoding. CM
+     * chips only expose the CG knobs and the binding; XBM adds the MVM
+     * knobs; WLM adds the VVM remap.
+     */
+    static std::vector<ScheduleOptions>
+    enumerateCandidates(ComputeMode mode);
+
+    /** Bit-packs the option flags into the stable candidate identity. */
+    static std::uint32_t encodeOptions(const ScheduleOptions &options);
+
+    /** Inverse of encodeOptions. */
+    static ScheduleOptions decodeOptions(std::uint32_t encoding);
+
+  private:
+    AutoTuneConfig config_;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SCHED_AUTOTUNE_H

@@ -328,7 +328,12 @@ runCgOptimization(const Graph &graph, const CimArchitecture &arch,
                 "operator '%s' exceeds the chip even after splitting",
                 graph.node(cost.node).name.c_str()));
         }
-        if (current.min_cores + need > budget && !current.members.empty()) {
+        const bool over_budget = current.min_cores + need > budget;
+        const bool over_cap =
+            options.segment_max_nodes > 0 &&
+            static_cast<std::int64_t>(current.members.size())
+                >= options.segment_max_nodes;
+        if ((over_budget || over_cap) && !current.members.empty()) {
             builds.push_back(std::move(current));
             current = SegmentBuild{};
         }

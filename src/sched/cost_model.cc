@@ -18,6 +18,11 @@ double
 convFillFraction(const Graph &graph, const Node &node)
 {
     const auto &out = graph.tensor(node.output).dims;
+    // scheduleGraph validates 4-D NCHW conv tensors up front; a direct
+    // caller with a malformed graph gets the conservative serializing
+    // fill instead of an out-of-bounds read.
+    if (out.size() != 4)
+        return 1.0;
     const double out_h = static_cast<double>(out[2]);
     const double k = static_cast<double>(node.conv().kernel_h);
     return std::min(1.0, k / std::max(1.0, out_h));
@@ -253,14 +258,7 @@ double
 bandwidthBoundCyclesPerWindow(const NodeCost &cost,
                               const CimArchitecture &arch)
 {
-    double limit_bw = 0.0;
-    if (arch.chip.l0_bandwidth > 0.0)
-        limit_bw = arch.chip.l0_bandwidth;
-    if (arch.chip.core_noc_bandwidth > 0.0) {
-        limit_bw = limit_bw == 0.0
-                       ? arch.chip.core_noc_bandwidth
-                       : std::min(limit_bw, arch.chip.core_noc_bandwidth);
-    }
+    const double limit_bw = chipBandwidthLimit(arch);
     if (limit_bw <= 0.0)
         return cost.cycles_per_window;
     const double transfer = cost.transfer_bits_per_window / limit_bw;

@@ -1,6 +1,7 @@
 #include "sched/multi_level.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "common/logging.h"
@@ -27,13 +28,72 @@ ScheduleOptions::toString() const
         parts.push_back("vvm-remap");
     if (binding.bit_binding == XbarDim::kXB)
         parts.push_back("bits-to-xb");
+    if (segment_max_nodes > 0)
+        parts.push_back(strformat("seg<=%lld", static_cast<long long>(
+                                                   segment_max_nodes)));
     return parts.empty() ? "none" : join(parts, "+");
+}
+
+Status
+validateGraphForScheduling(const Graph &graph)
+{
+    for (const Node &node : graph.nodes()) {
+        if (node.kind != OpKind::kConv2d)
+            continue;
+        if (node.inputs.empty()
+            || graph.tensor(node.inputs[0]).dims.size() != 4) {
+            return invalidArgument(
+                "conv2d node '" + node.name
+                + "' input must be a 4-D NCHW tensor");
+        }
+        if (graph.tensor(node.output).dims.size() != 4) {
+            return invalidArgument(
+                "conv2d node '" + node.name
+                + "' output must be a 4-D NCHW tensor");
+        }
+    }
+    return Status::ok();
+}
+
+Status
+refreshCmActivationStats(CgResult &cg, bool cg_pipeline)
+{
+    std::map<NodeId, const NodeCost *> cost_by_node;
+    for (const NodeCost &cost : cg.costs)
+        cost_by_node[cost.node] = &cost;
+    for (Segment &segment : cg.segments) {
+        std::int64_t peak = 0;
+        for (NodeId node : segment.nodes) {
+            auto it = cost_by_node.find(node);
+            if (it == cost_by_node.end())
+                return internalError(strformat(
+                    "segment references node %d with no cost record",
+                    node));
+            if (!it->second->is_cim)
+                continue;
+            auto dit = cg.decisions.find(node);
+            if (dit == cg.decisions.end())
+                return internalError(strformat(
+                    "CIM node %d has no CG decision record", node));
+            const std::int64_t xbs = it->second->grid.physicalCrossbars()
+                                     * dit->second.duplication;
+            if (cg_pipeline) {
+                peak += xbs;
+            } else {
+                peak = std::max(peak, xbs);
+            }
+        }
+        segment.peak_active_xbs = peak;
+    }
+    return Status::ok();
 }
 
 StatusOr<Schedule>
 scheduleGraph(const Graph &graph, const CimArchitecture &arch,
               const ScheduleOptions &options)
 {
+    CIMMLC_RETURN_IF_ERROR(validateGraphForScheduling(graph));
+
     // Clamp options to the levels the programming interface exposes.
     ScheduleOptions effective = options;
     if (arch.mode == ComputeMode::kCM) {
@@ -50,29 +110,8 @@ scheduleGraph(const Graph &graph, const CimArchitecture &arch,
         CIMMLC_RETURN_IF_ERROR(
             runMvmOptimization(graph, arch, effective, &cg));
     } else {
-        // Still refresh activation statistics for CM-only chips (the MVM
-        // pass normally does this); without XBM control every crossbar
-        // of a running operator is active.
-        for (Segment &segment : cg.segments) {
-            std::int64_t peak = 0;
-            for (NodeId node : segment.nodes) {
-                auto it = std::find_if(cg.costs.begin(), cg.costs.end(),
-                                       [&](const NodeCost &c) {
-                                           return c.node == node;
-                                       });
-                if (!it->is_cim)
-                    continue;
-                const CgDecision &decision = cg.decisions.at(node);
-                const std::int64_t xbs =
-                    it->grid.physicalCrossbars() * decision.duplication;
-                if (effective.cg_pipeline) {
-                    peak += xbs;
-                } else {
-                    peak = std::max(peak, xbs);
-                }
-            }
-            segment.peak_active_xbs = peak;
-        }
+        CIMMLC_RETURN_IF_ERROR(
+            refreshCmActivationStats(cg, effective.cg_pipeline));
     }
     if (arch.mode == ComputeMode::kWLM) {
         CIMMLC_RETURN_IF_ERROR(

@@ -10,10 +10,29 @@
 #include "arch/arch.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "sched/cg.h"
 #include "sched/options.h"
 #include "sched/schedule.h"
 
 namespace cimmlc {
+
+/**
+ * Structural preconditions of the scheduling pipeline: beyond
+ * Graph::validate(), every conv2d node must carry 4-D NCHW input and
+ * output tensors — the cost model indexes spatial dims directly, so a
+ * malformed graph must fail here with a Status rather than read out of
+ * bounds downstream.
+ */
+Status validateGraphForScheduling(const Graph &graph);
+
+/**
+ * Recomputes per-segment peak-active-crossbar statistics for CM-only
+ * chips (the MVM pass normally refreshes these; without XBM control
+ * every crossbar of a running operator is active). Exposed for tests:
+ * fails with kInternal when a segment references a node that has no
+ * cost or decision record instead of dereferencing a bad iterator.
+ */
+Status refreshCmActivationStats(CgResult &cg, bool cg_pipeline);
 
 /**
  * Compiles @p graph for @p arch under @p options.

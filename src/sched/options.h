@@ -7,6 +7,7 @@
 #ifndef CIMMLC_SCHED_OPTIONS_H
 #define CIMMLC_SCHED_OPTIONS_H
 
+#include <cstdint>
 #include <string>
 
 #include "sched/mapping.h"
@@ -29,6 +30,14 @@ struct ScheduleOptions {
 
     // VVM-grained (Section 3.3.4); only used when the mode allows WLM
     bool vvm_remap = true; //!< row remapping across crossbars
+
+    //! Segmentation granularity: 0 = resource-adaptive (greedily pack
+    //! operators until the core budget is exhausted, Figure 9); N > 0
+    //! additionally closes a segment after N operators. Smaller
+    //! segments trade one weight reload per extra segment for a larger
+    //! per-operator duplication budget — a win on chips with cheap
+    //! writes (SRAM), a loss on ReRAM. The auto-tuner searches this.
+    std::int64_t segment_max_nodes = 0;
 
     /** Everything off — the "w/o optimization" baseline of Figure 20(d). */
     static ScheduleOptions

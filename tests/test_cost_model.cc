@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "arch/presets.h"
 #include "graph/models.h"
 #include "sched/cost_model.h"
@@ -206,6 +208,34 @@ TEST(BandwidthTest, StageFloorCountsWindows)
     const NodeCost cost = computeNodeCost(g, 1, arch);
     EXPECT_NEAR(stageFloorCycles(cost, arch),
                 1024.0 * 72.0 / 384.0, 1e-9);
+}
+
+TEST(BandwidthTest, BoundUsesTheSharedChipLimit)
+{
+    // bandwidthBoundCyclesPerWindow must agree with chipBandwidthLimit
+    // for every L0/NoC combination (it used to re-implement the min
+    // logic and could silently diverge).
+    const Graph g = toyGraph();
+    const struct {
+        double l0;
+        double noc;
+    } cases[] = {{0.0, 0.0}, {384.0, 0.0}, {0.0, 256.0}, {384.0, 256.0},
+                 {128.0, 512.0}};
+    for (const auto &c : cases) {
+        CimArchitecture arch = presets::isaacBaseline();
+        arch.chip.l0_bandwidth = c.l0;
+        arch.chip.core_noc_bandwidth = c.noc;
+        const NodeCost cost = computeNodeCost(g, 1, arch);
+        const double limit = chipBandwidthLimit(arch);
+        const double expected =
+            limit <= 0.0 ? cost.cycles_per_window
+                         : std::max(cost.cycles_per_window,
+                                    cost.transfer_bits_per_window
+                                        / limit);
+        EXPECT_DOUBLE_EQ(bandwidthBoundCyclesPerWindow(cost, arch),
+                         expected)
+            << "l0=" << c.l0 << " noc=" << c.noc;
+    }
 }
 
 } // namespace

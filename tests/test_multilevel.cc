@@ -164,5 +164,115 @@ TEST(ScheduleTest, PeakActivationBoundedByChip)
     }
 }
 
+TEST(ScheduleTest, SegmentCapProducesMoreSegments)
+{
+    const Graph g = models::lenet5();
+    const CimArchitecture arch = presets::jainJssc21();
+    ScheduleOptions capped = ScheduleOptions::full();
+    capped.segment_max_nodes = 2;
+    auto free_schedule = scheduleGraph(g, arch, ScheduleOptions::full());
+    auto capped_schedule = scheduleGraph(g, arch, capped);
+    ASSERT_TRUE(free_schedule.isOk());
+    ASSERT_TRUE(capped_schedule.isOk());
+    EXPECT_GT(capped_schedule.value().segments.size(),
+              free_schedule.value().segments.size());
+    EXPECT_NE(capped_schedule.value().options.toString().find("seg<=2"),
+              std::string::npos);
+}
+
+// ----- validateGraphForScheduling ----------------------------------------
+
+TEST(ValidateForSchedulingTest, WellFormedGraphsPass)
+{
+    EXPECT_TRUE(validateGraphForScheduling(models::lenet5()).isOk());
+    EXPECT_TRUE(validateGraphForScheduling(models::byName("vit_tiny"))
+                    .isOk());
+}
+
+TEST(ValidateForSchedulingTest, MalformedConvOutputFailsWithStatus)
+{
+    // A conv2d node whose output is not 4-D NCHW must be rejected with
+    // a Status instead of letting the cost model index out[2]/out[3]
+    // out of bounds. The builder API always infers 4-D conv shapes, so
+    // forge the malformed node by retyping a linear layer.
+    Graph g = models::byName("mlp");
+    NodeId conv_node = kInvalidNode;
+    for (const Node &node : g.nodes()) {
+        if (node.kind == OpKind::kLinear) {
+            conv_node = node.id;
+            break;
+        }
+    }
+    ASSERT_NE(conv_node, kInvalidNode);
+    Node &node = g.mutableNode(conv_node);
+    node.kind = OpKind::kConv2d;
+    node.attrs = Conv2dAttrs{/*out_channels=*/8, /*kernel_h=*/3,
+                             /*kernel_w=*/3, /*stride=*/1,
+                             /*padding=*/1};
+
+    const Status direct = validateGraphForScheduling(g);
+    ASSERT_FALSE(direct.isOk());
+    EXPECT_EQ(direct.code(), StatusCode::kInvalidArgument);
+
+    auto schedule = scheduleGraph(g, presets::isaacBaseline(),
+                                  ScheduleOptions::full());
+    ASSERT_FALSE(schedule.isOk());
+    EXPECT_EQ(schedule.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----- refreshCmActivationStats ------------------------------------------
+
+TEST(CmActivationStatsTest, MissingCostRecordIsInternalError)
+{
+    CgResult cg;
+    Segment segment;
+    segment.nodes.push_back(7); // no matching entry in cg.costs
+    cg.segments.push_back(segment);
+
+    const Status status = refreshCmActivationStats(cg, true);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(CmActivationStatsTest, MissingDecisionRecordIsInternalError)
+{
+    CgResult cg;
+    NodeCost cost;
+    cost.node = 3;
+    cost.is_cim = true;
+    cg.costs.push_back(cost); // cost present, decision absent
+    Segment segment;
+    segment.nodes.push_back(3);
+    cg.segments.push_back(segment);
+
+    const Status status = refreshCmActivationStats(cg, true);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(CmActivationStatsTest, PipelineSumsAndSerialPeaks)
+{
+    CgResult cg;
+    for (NodeId id : {1, 2}) {
+        NodeCost cost;
+        cost.node = id;
+        cost.is_cim = true;
+        cost.grid.tiles_r = 1;
+        cost.grid.tiles_c = id; // 1 and 2 physical crossbars
+        cg.costs.push_back(cost);
+        CgDecision decision;
+        decision.duplication = 1;
+        cg.decisions[id] = decision;
+    }
+    Segment segment;
+    segment.nodes = {1, 2};
+    cg.segments.push_back(segment);
+
+    ASSERT_TRUE(refreshCmActivationStats(cg, /*cg_pipeline=*/true).isOk());
+    EXPECT_EQ(cg.segments[0].peak_active_xbs, 3);
+    ASSERT_TRUE(refreshCmActivationStats(cg, /*cg_pipeline=*/false).isOk());
+    EXPECT_EQ(cg.segments[0].peak_active_xbs, 2);
+}
+
 } // namespace
 } // namespace cimmlc
