@@ -1,70 +1,61 @@
 /**
  * @file
  * Quickstart: reproduces the paper's Section 3.4 walkthrough (Table 2 +
- * Figure 16). Compiles the Conv-ReLU toy network — conv input (3,32,32),
- * kernel (32,3,3,3), stride 1, padding 1 — for the Table 2 tutorial chip
- * under each computing mode (CM, XBM, WLM) and prints the generated
- * meta-operator flow, then verifies the XBM flow bit-for-bit on the
- * functional simulator.
+ * Figure 16) through the staged session API. One CompileRequest per
+ * computing mode (CM, XBM, WLM) compiles the Conv-ReLU toy network —
+ * conv input (3,32,32), kernel (32,3,3,3), stride 1, padding 1 — for
+ * the Table 2 tutorial chip; each session schedules, generates the
+ * meta-operator flow, evaluates performance, and verifies the flow
+ * bit-for-bit on the functional simulator, with per-stage wall times
+ * streamed through the observer hook.
  */
 #include <cstdio>
 #include <iostream>
 
 #include "arch/presets.h"
-#include "common/rng.h"
-#include "compiler/compiler.h"
-#include "funcsim/verify.h"
+#include "compiler/session.h"
 #include "graph/models.h"
-#include "mop/printer.h"
 
 using namespace cimmlc;
 
 int
 main()
 {
-    Graph graph = models::convReluToy();
+    const Graph graph = models::convReluToy();
     std::cout << graph.summary() << "\n";
 
     for (ComputeMode mode :
          {ComputeMode::kCM, ComputeMode::kXBM, ComputeMode::kWLM}) {
-        CimArchitecture arch = presets::tutorialTable2(mode);
+        const CimArchitecture arch = presets::tutorialTable2(mode);
         std::cout << arch.toString();
 
-        CimCompiler compiler(arch);
-        auto result = compiler.compile(graph);
+        CompileRequest request;
+        request.graph = &graph;    // borrowed; no copy, no reparse
+        request.arch_ref = &arch;
+        request.outputs.schedule_report = true;
+        request.outputs.flow_text = true;
+        request.outputs.flow_limit = 24;
+        request.outputs.verify = true; // bit-exact functional check
+
+        CompilerSession session(std::move(request));
+        session.setObserver(
+            [](const StageTrace &trace, const CompileArtifacts &) {
+                std::fprintf(stderr, "  [%s] %.2f ms\n",
+                             compileStageName(trace.stage),
+                             trace.wall_ms);
+            });
+        auto result = session.run();
         if (!result.isOk()) {
             std::cerr << "compile failed: "
                       << result.status().toString() << "\n";
             return 1;
         }
-        const CompileResult &compiled = result.value();
-        std::cout << compiled.schedule.summary(graph);
-        std::cout << compiled.perf.toString() << "\n\n";
+        const CompileArtifacts &artifacts = result.value();
+        std::cout << artifacts.schedule_report;
+        std::cout << artifacts.perf->toString() << "\n\n";
+        std::cout << artifacts.flow_text << "\n";
 
-        PrintOptions print;
-        print.max_statements = 24;
-        std::cout << printProgram(compiled.code.program, print) << "\n";
-    }
-
-    // Functional verification in every mode, against the reference
-    // executor (stands in for the paper's PyTorch check).
-    Rng rng(7);
-    graph.randomizeWeights(rng, -8, 8);
-    Int8Tensor image(TensorShape({1, 3, 32, 32}));
-    image.fillRandom(rng, -16, 16);
-    std::map<TensorId, Int8Tensor> inputs{{graph.inputs()[0], image}};
-
-    for (ComputeMode mode :
-         {ComputeMode::kCM, ComputeMode::kXBM, ComputeMode::kWLM}) {
-        CimArchitecture arch = presets::tutorialTable2(mode);
-        auto verify = verifyCompiledFlow(graph, arch,
-                                         ScheduleOptions::full(), inputs);
-        if (!verify.isOk()) {
-            std::cerr << "verification failed to run: "
-                      << verify.status().toString() << "\n";
-            return 1;
-        }
-        const VerifyReport &report = verify.value();
+        const VerifyReport &report = *artifacts.verify;
         std::printf("[%s] functional check: %s (%lld elements, %lld "
                     "flow ops)\n",
                     computeModeName(mode),

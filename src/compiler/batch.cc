@@ -26,51 +26,40 @@ compileJob(const BatchJob &job, const ScheduleOptions &options,
 {
     entry.job = job;
 
-    auto arch = presets::byName(job.arch);
-    if (!arch.isOk()) {
-        entry.status = arch.status().withContext("job '" + job.model + " x "
-                                                 + job.arch + "'");
-        return;
-    }
-
-    // models::byName fatal()s on unknown names; reject them gracefully.
-    const std::vector<std::string> known = models::availableModels();
-    if (std::find(known.begin(), known.end(), toLower(job.model))
-        == known.end()) {
-        entry.status = notFound("unknown model '" + job.model + "'");
-        return;
-    }
-    const Graph graph = models::byName(job.model);
-    entry.nodes = static_cast<std::int64_t>(graph.nodeCount());
-    entry.weights = graph.totalWeights();
-
-    ScheduleOptions job_options = options;
+    CompileRequest request;
+    request.model = job.model;
+    request.arch = job.arch;
+    request.options = options;
     if (tune.cache != nullptr) {
         // Job-level parallelism already fills the pool; tune serially
         // inside the job so nested pools do not oversubscribe.
-        const AutoTuner tuner(
-            AutoTuneConfig{tune.objective, /*threads=*/1, tune.cache});
-        auto tuned = tuner.tune(graph, arch.value());
-        if (!tuned.isOk()) {
-            entry.status = tuned.status().withContext(
-                "job '" + job.model + " x " + job.arch + "'");
-            return;
-        }
-        job_options = tuned.value().best().options;
-        entry.tuned = true;
+        request.tune = true;
+        request.objective = tune.objective;
+        request.tune_cache = tune.cache;
+        request.threads = 1;
     }
-    entry.config = job_options.toString();
 
-    const CimCompiler compiler(std::move(arch).value(), job_options);
-    auto result = compiler.compile(graph);
-    if (!result.isOk()) {
-        entry.status = result.status().withContext(
+    CompilerSession session(std::move(request));
+    // Identity facts survive in the entry even when a later stage fails.
+    session.setObserver([&entry](const StageTrace &trace,
+                                 const CompileArtifacts &artifacts) {
+        if (trace.stage == CompileStage::kLoad && trace.status.isOk()) {
+            entry.nodes = artifacts.nodes;
+            entry.weights = artifacts.weights;
+        }
+    });
+    auto artifacts = session.run();
+    if (!artifacts.isOk()) {
+        entry.status = artifacts.status().withContext(
             "job '" + job.model + " x " + job.arch + "'");
         return;
     }
+    const CompileArtifacts &compiled = artifacts.value();
+    entry.tuned = compiled.tuned;
+    entry.config = compiled.options.toString();
     entry.status = Status::ok();
-    entry.perf = result.value().perf;
-    entry.flow_statements = result.value().code.program.counts().total();
+    entry.perf = *compiled.perf;
+    entry.flow_statements = compiled.flowStatements();
 }
 
 } // namespace
@@ -171,20 +160,6 @@ BatchCompiler::crossProduct(const std::vector<std::string> &model_names,
         for (const std::string &arch : arch_names)
             jobs.push_back(BatchJob{model, arch});
     return jobs;
-}
-
-StatusOr<ScheduleOptions>
-scheduleOptionsByName(const std::string &level)
-{
-    if (level == "none")
-        return ScheduleOptions::none();
-    if (level == "cg")
-        return ScheduleOptions::cgOnly();
-    if (level == "cg+mvm" || level == "mvm")
-        return ScheduleOptions::cgMvm();
-    if (level == "full")
-        return ScheduleOptions::full();
-    return invalidArgument("unknown --opt level '" + level + "'");
 }
 
 namespace {

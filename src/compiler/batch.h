@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "compiler/compiler.h"
+#include "compiler/session.h"
 #include "perfsim/perf_model.h"
 #include "sched/autotune.h"
 #include "sched/options.h"
@@ -131,9 +131,6 @@ class BatchCompiler
     bool tune_ = false;
     TuneObjective objective_ = TuneObjective::kLatency;
 };
-
-/** Maps an --opt level name (none|cg|cg+mvm|full) to ScheduleOptions. */
-StatusOr<ScheduleOptions> scheduleOptionsByName(const std::string &level);
 
 /**
  * Parses a sweep file:

@@ -2,6 +2,13 @@
  * @file
  * `cimmlc` — the command-line driver over the compilation stack.
  *
+ * A thin client of the staged session API (compiler/session.h): flags
+ * are folded into one CompileRequest, CompilerSession runs the
+ * load -> validate -> tune? -> schedule -> codegen -> perf -> verify?
+ * pipeline, and the driver renders the resulting CompileArtifacts —
+ * as the classic text report or, with `--report json`, as the kvjson
+ * document a compile service would return.
+ *
  * Usage:
  *   cimmlc --model resnet18 --arch isaac-baseline [options]
  *   cimmlc --model-file net.json --arch-file chip.json [options]
@@ -20,10 +27,13 @@
  *   --print-flow [N]    print the meta-operator flow (first N stmts)
  *   --print-schedule    print the per-operator mapping report
  *   --verify            unroll, execute, and check against the oracle
+ *   --report FORMAT     text (default) | json — json serializes the
+ *                       full CompileArtifacts record as kvjson
  *   --batch PATH        compile a models x archs sweep concurrently
  *   --threads N         worker threads for --batch / --autotune
  *                       (0 = hardware concurrency)
  *   --serial            force the serial path (reference/debug)
+ *   --check-kvjson PATH parse a kvjson file and exit 0/1 (CI helper)
  *   --list-models / --list-archs
  *   --help / -h
  */
@@ -34,15 +44,11 @@
 #include <string>
 
 #include "arch/presets.h"
-#include "arch/serialize.h"
-#include "common/rng.h"
+#include "common/config.h"
 #include "compiler/batch.h"
-#include "compiler/compiler.h"
-#include "funcsim/verify.h"
-#include "sched/autotune.h"
+#include "compiler/session.h"
 #include "graph/models.h"
-#include "graph/serialize.h"
-#include "mop/printer.h"
+#include "sched/autotune.h"
 
 using namespace cimmlc;
 
@@ -52,10 +58,13 @@ struct CliArgs {
     std::string model;
     std::string model_file;
     std::string arch = "isaac-baseline";
+    bool arch_explicit = false;
     std::string arch_file;
     std::string opt = "full";
     bool opt_explicit = false;
     std::string batch_file;
+    std::string check_kvjson;
+    std::string report = "text";
     int threads = -1; //!< -1 = use the sweep file's setting
     bool serial = false;
     bool autotune = false;
@@ -79,9 +88,11 @@ printUsage(std::FILE *out, const char *argv0)
         "[--autotune-verbose]]\n"
         "          [--threads N] [--serial]\n"
         "          [--print-flow [N]] [--print-schedule] [--verify]\n"
+        "          [--report text|json]\n"
         "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
         "[--objective NAME]\n"
         "          [--threads N] [--serial]\n"
+        "          [--check-kvjson PATH]\n"
         "          [--list-models] [--list-archs] [--help]\n",
         argv0, argv0);
 }
@@ -91,6 +102,23 @@ usage(const char *argv0)
 {
     printUsage(stderr, argv0);
     return 2;
+}
+
+/** Parses a flag value as a non-negative integer or exits with 2. */
+bool
+parseNonNegativeInt(const char *flag, const char *value,
+                    std::int64_t *out)
+{
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "%s expects a non-negative integer, got '%s'\n",
+                     flag, value);
+        return false;
+    }
+    *out = parsed;
+    return true;
 }
 
 int
@@ -161,6 +189,125 @@ runBatch(const CliArgs &args)
                : 1;
 }
 
+/** CI helper: parse a kvjson document (e.g. a --report json output)
+ * back through the reader and report success. */
+int
+runCheckKvjson(const std::string &path)
+{
+    auto doc = loadConfigFile(path);
+    if (!doc.isOk()) {
+        std::fprintf(stderr, "kvjson check failed: %s\n",
+                     doc.status().toString().c_str());
+        return 1;
+    }
+    std::printf("kvjson OK: %s (%zu top-level keys)\n", path.c_str(),
+                doc.value().isObject() ? doc.value().asObject().size()
+                                       : 0);
+    return 0;
+}
+
+int
+runSingle(const CliArgs &args)
+{
+    const bool json = args.report == "json";
+
+    CompileRequest request;
+    request.model = args.model;
+    request.model_file = args.model_file;
+    // Set every arch source the user actually gave, so an explicit
+    // --arch combined with --arch-file hits the request's
+    // conflicting-sources check instead of one silently winning.
+    request.arch_file = args.arch_file;
+    if (args.arch_explicit || args.arch_file.empty())
+        request.arch = args.arch;
+    request.opt = args.opt;
+
+    if (args.autotune) {
+        if (args.opt_explicit) {
+            std::fprintf(stderr,
+                         "note: --opt is ignored with --autotune — the "
+                         "tuner searches the whole option space\n");
+        }
+        auto objective = parseTuneObjective(args.objective);
+        if (!objective.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         objective.status().toString().c_str());
+            return 1;
+        }
+        request.tune = true;
+        request.objective = objective.value();
+        request.threads = args.serial ? 1 : std::max(args.threads, 0);
+    }
+
+    request.outputs.schedule_report = args.print_schedule;
+    request.outputs.flow_text = args.print_flow;
+    request.outputs.flow_limit = args.flow_limit;
+    request.outputs.verify = args.verify;
+
+    CompilerSession session(std::move(request));
+    if (!json) {
+        // Stream the header and tuning report as the stages complete,
+        // so slow runs show progress instead of buffering everything.
+        session.setObserver([&args](const StageTrace &trace,
+                                    const CompileArtifacts &artifacts) {
+            if (!trace.status.isOk())
+                return;
+            if (trace.stage == CompileStage::kLoad) {
+                std::fputs(artifacts.arch_text.c_str(), stdout);
+                std::printf(
+                    "workload: %s (%lld nodes, %lld weights)\n\n",
+                    artifacts.workload.c_str(),
+                    static_cast<long long>(artifacts.nodes),
+                    static_cast<long long>(artifacts.weights));
+            } else if (trace.stage == CompileStage::kTune) {
+                if (args.autotune_verbose)
+                    std::fputs(artifacts.tune->table().c_str(), stdout);
+                std::printf("%s\n", artifacts.tune->summary().c_str());
+            }
+        });
+    }
+
+    auto result = session.run();
+    if (!result.isOk()) {
+        std::fprintf(stderr, "%s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+    const CompileArtifacts &artifacts = result.value();
+    const bool mismatch =
+        artifacts.verify.has_value() && !artifacts.verify->match;
+
+    if (json) {
+        // Keep stdout pure kvjson; the verbose DSE table goes to stderr.
+        if (args.autotune_verbose && artifacts.tune.has_value())
+            std::fputs(artifacts.tune->table().c_str(), stderr);
+        std::printf("%s\n", artifacts.toConfig().dump(true).c_str());
+        return mismatch ? 1 : 0;
+    }
+
+    if (args.print_schedule)
+        std::fputs(artifacts.schedule_report.c_str(), stdout);
+    std::printf("perf: %s\n", artifacts.perf->toString().c_str());
+    std::printf("flow: %s\n",
+                artifacts.code->program.summary().c_str());
+    if (args.print_flow)
+        std::fputs(artifacts.flow_text.c_str(), stdout);
+
+    if (artifacts.verify.has_value()) {
+        const VerifyReport &report = *artifacts.verify;
+        std::printf("verify: %s (%lld elements, %lld flow ops)\n",
+                    report.match ? "BIT-EXACT MATCH" : "MISMATCH",
+                    static_cast<long long>(report.elements_checked),
+                    static_cast<long long>(report.flow_ops));
+        if (!report.match) {
+            std::fprintf(stderr, "  first mismatch: %s\n",
+                         report.first_mismatch.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -201,6 +348,7 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             args.arch = v;
+            args.arch_explicit = true;
         } else if (flag == "--arch-file") {
             const char *v = next();
             if (!v)
@@ -217,19 +365,30 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             args.batch_file = v;
+        } else if (flag == "--check-kvjson") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.check_kvjson = v;
+        } else if (flag == "--report") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.report = v;
+            if (args.report != "text" && args.report != "json") {
+                std::fprintf(stderr,
+                             "--report expects 'text' or 'json', got "
+                             "'%s'\n",
+                             v);
+                return 2;
+            }
         } else if (flag == "--threads") {
             const char *v = next();
             if (!v)
                 return usage(argv[0]);
-            char *end = nullptr;
-            const long parsed = std::strtol(v, &end, 10);
-            if (end == v || *end != '\0' || parsed < 0) {
-                std::fprintf(stderr,
-                             "--threads expects a non-negative integer, "
-                             "got '%s'\n",
-                             v);
+            std::int64_t parsed = 0;
+            if (!parseNonNegativeInt("--threads", v, &parsed))
                 return 2;
-            }
             args.threads = static_cast<int>(parsed);
         } else if (flag == "--serial") {
             args.serial = true;
@@ -248,7 +407,11 @@ main(int argc, char **argv)
         } else if (flag == "--print-flow") {
             args.print_flow = true;
             if (i + 1 < argc && argv[i + 1][0] != '-') {
-                args.flow_limit = std::atoll(argv[++i]);
+                // Optional limit; reject garbage instead of letting
+                // atoll() silently turn it into a limit of 0.
+                if (!parseNonNegativeInt("--print-flow", argv[++i],
+                                         &args.flow_limit))
+                    return 2;
             }
         } else if (flag == "--print-schedule") {
             args.print_schedule = true;
@@ -259,6 +422,8 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (!args.check_kvjson.empty())
+        return runCheckKvjson(args.check_kvjson);
     if (!args.batch_file.empty())
         return runBatch(args);
     if ((args.threads >= 0 || args.serial) && !args.autotune) {
@@ -268,131 +433,5 @@ main(int argc, char **argv)
     }
     if (args.model.empty() && args.model_file.empty())
         return usage(argv[0]);
-
-    // ----- load the workload ---------------------------------------------
-    Graph graph("unset");
-    if (!args.model_file.empty()) {
-        auto loaded = graphFromFile(args.model_file);
-        if (!loaded.isOk()) {
-            std::fprintf(stderr, "model load failed: %s\n",
-                         loaded.status().toString().c_str());
-            return 1;
-        }
-        graph = std::move(loaded).value();
-    } else {
-        graph = models::byName(args.model);
-    }
-
-    // ----- load the architecture -------------------------------------------
-    CimArchitecture arch;
-    if (!args.arch_file.empty()) {
-        auto loaded = archFromFile(args.arch_file);
-        if (!loaded.isOk()) {
-            std::fprintf(stderr, "arch load failed: %s\n",
-                         loaded.status().toString().c_str());
-            return 1;
-        }
-        arch = std::move(loaded).value();
-    } else {
-        auto preset = presets::byName(args.arch);
-        if (!preset.isOk()) {
-            std::fprintf(stderr, "%s\n",
-                         preset.status().toString().c_str());
-            return 1;
-        }
-        arch = std::move(preset).value();
-    }
-
-    auto options = scheduleOptionsByName(args.opt);
-    if (!options.isOk()) {
-        std::fprintf(stderr, "%s\n", options.status().toString().c_str());
-        return 1;
-    }
-    ScheduleOptions chosen = options.value();
-
-    // ----- compile ---------------------------------------------------------
-    std::fputs(arch.toString().c_str(), stdout);
-    std::printf("workload: %s (%zu nodes, %lld weights)\n\n",
-                graph.name().c_str(), graph.nodeCount(),
-                static_cast<long long>(graph.totalWeights()));
-
-    // ----- optional schedule auto-tuning ------------------------------------
-    if (args.autotune) {
-        if (args.opt_explicit) {
-            std::fprintf(stderr,
-                         "note: --opt is ignored with --autotune — the "
-                         "tuner searches the whole option space\n");
-        }
-        auto objective = parseTuneObjective(args.objective);
-        if (!objective.isOk()) {
-            std::fprintf(stderr, "%s\n",
-                         objective.status().toString().c_str());
-            return 1;
-        }
-        AutoTuneConfig config;
-        config.objective = objective.value();
-        config.threads = args.serial ? 1 : std::max(args.threads, 0);
-        const AutoTuner tuner(config);
-        auto tuned = tuner.tune(graph, arch);
-        if (!tuned.isOk()) {
-            std::fprintf(stderr, "autotune failed: %s\n",
-                         tuned.status().toString().c_str());
-            return 1;
-        }
-        if (args.autotune_verbose)
-            std::fputs(tuned.value().table().c_str(), stdout);
-        std::printf("%s\n", tuned.value().summary().c_str());
-        chosen = tuned.value().best().options;
-    }
-
-    CimCompiler compiler(arch, chosen);
-    auto result = compiler.compile(graph);
-    if (!result.isOk()) {
-        std::fprintf(stderr, "compile failed: %s\n",
-                     result.status().toString().c_str());
-        return 1;
-    }
-    const CompileResult &compiled = result.value();
-
-    if (args.print_schedule)
-        std::fputs(compiled.schedule.summary(graph).c_str(), stdout);
-    std::printf("perf: %s\n", compiled.perf.toString().c_str());
-    std::printf("flow: %s\n", compiled.code.program.summary().c_str());
-
-    if (args.print_flow) {
-        PrintOptions print;
-        print.max_statements = args.flow_limit;
-        std::fputs(printProgram(compiled.code.program, print).c_str(),
-                   stdout);
-    }
-
-    // ----- optional functional verification ---------------------------------
-    if (args.verify) {
-        Rng rng(1234);
-        graph.randomizeWeights(rng);
-        std::map<TensorId, Int8Tensor> inputs;
-        for (TensorId in : graph.inputs()) {
-            Int8Tensor t(TensorShape(graph.tensor(in).dims));
-            t.fillRandom(rng, -16, 16);
-            inputs.emplace(in, std::move(t));
-        }
-        auto report = verifyCompiledFlow(graph, arch, chosen, inputs);
-        if (!report.isOk()) {
-            std::fprintf(stderr, "verification failed to run: %s\n",
-                         report.status().toString().c_str());
-            return 1;
-        }
-        std::printf("verify: %s (%lld elements, %lld flow ops)\n",
-                    report.value().match ? "BIT-EXACT MATCH"
-                                         : "MISMATCH",
-                    static_cast<long long>(
-                        report.value().elements_checked),
-                    static_cast<long long>(report.value().flow_ops));
-        if (!report.value().match) {
-            std::fprintf(stderr, "  first mismatch: %s\n",
-                         report.value().first_mismatch.c_str());
-            return 1;
-        }
-    }
-    return 0;
+    return runSingle(args);
 }

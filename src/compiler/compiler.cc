@@ -1,26 +1,40 @@
 #include "compiler/compiler.h"
 
+#include "compiler/session.h"
+
 namespace cimmlc {
 
 StatusOr<CompileResult>
 CimCompiler::compile(const Graph &graph,
                      const CodegenOptions &codegen) const
 {
+    CompileRequest request;
+    request.graph = &graph;
+    request.arch_ref = &arch_;
+    request.options = options_;
+    request.codegen = codegen;
+    request.threads = 1;
+    CompilerSession session(std::move(request));
+    CIMMLC_ASSIGN_OR_RETURN(CompileArtifacts artifacts, session.run());
     CompileResult result;
-    CIMMLC_ASSIGN_OR_RETURN(result.schedule,
-                            scheduleGraph(graph, arch_, options_));
-    CIMMLC_ASSIGN_OR_RETURN(
-        result.code,
-        generateProgram(graph, arch_, result.schedule, codegen));
-    CIMMLC_ASSIGN_OR_RETURN(
-        result.perf, evaluateSchedule(graph, arch_, result.schedule));
+    result.schedule = std::move(*artifacts.schedule);
+    result.code = std::move(*artifacts.code);
+    result.perf = *artifacts.perf;
     return result;
 }
 
 StatusOr<Schedule>
 CimCompiler::scheduleOnly(const Graph &graph) const
 {
-    return scheduleGraph(graph, arch_, options_);
+    CompileRequest request;
+    request.graph = &graph;
+    request.arch_ref = &arch_;
+    request.options = options_;
+    request.threads = 1;
+    request.stop_after = CompileStage::kSchedule;
+    CompilerSession session(std::move(request));
+    CIMMLC_ASSIGN_OR_RETURN(CompileArtifacts artifacts, session.run());
+    return std::move(*artifacts.schedule);
 }
 
 } // namespace cimmlc

@@ -1,10 +1,13 @@
 /**
  * @file
- * CimCompiler: the one-call public API of the stack.
+ * CimCompiler: the legacy one-call facade over the stack.
  *
- * Mirrors the paper's end-to-end flow (Figure 3): a DNN computation
- * graph plus an Abs-arch description goes in; a multi-level schedule,
- * a meta-operator flow, and a performance report come out.
+ * @deprecated New code should use the staged session API in
+ * compiler/session.h (CompileRequest -> CompilerSession ->
+ * CompileArtifacts), which this facade now delegates to. CimCompiler
+ * remains as a thin shim so existing callers keep working; it offers
+ * no access to per-stage timings, auto-tuning, verification, or the
+ * kvjson report.
  *
  * @code
  *   CimArchitecture arch = presets::isaacBaseline();
@@ -18,6 +21,7 @@
 
 #include "arch/arch.h"
 #include "common/status.h"
+#include "compiler/session.h"
 #include "graph/graph.h"
 #include "mop/program.h"
 #include "perfsim/perf_model.h"
@@ -35,7 +39,8 @@ struct CompileResult {
     PerfReport perf;
 };
 
-/** Facade over scheduling, code generation, and evaluation. */
+/** Facade over scheduling, code generation, and evaluation.
+ * @deprecated Thin shim over CompilerSession; see compiler/session.h. */
 class CimCompiler
 {
   public:
@@ -61,13 +66,11 @@ class CimCompiler
     /** Schedule-only entry point (no codegen), cheaper for sweeps. */
     StatusOr<Schedule> scheduleOnly(const Graph &graph) const;
 
-    /** Default compressed codegen options. */
+    /** Default compressed codegen options (the session API's default). */
     static CodegenOptions
     compressedCodegen()
     {
-        CodegenOptions options;
-        options.unroll = false;
-        return options;
+        return compressedCodegenOptions();
     }
 
   private:

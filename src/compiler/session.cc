@@ -1,0 +1,473 @@
+#include "compiler/session.h"
+
+#include <chrono>
+
+#include "arch/presets.h"
+#include "arch/serialize.h"
+#include "common/strutil.h"
+#include "graph/models.h"
+#include "graph/serialize.h"
+#include "mop/printer.h"
+#include "sched/multi_level.h"
+
+namespace cimmlc {
+
+const char *
+compileStageName(CompileStage stage)
+{
+    switch (stage) {
+      case CompileStage::kLoad: return "load";
+      case CompileStage::kValidate: return "validate";
+      case CompileStage::kTune: return "tune";
+      case CompileStage::kSchedule: return "schedule";
+      case CompileStage::kCodegen: return "codegen";
+      case CompileStage::kPerf: return "perf";
+      case CompileStage::kVerify: return "verify";
+    }
+    return "?";
+}
+
+StatusOr<CompileStage>
+parseCompileStage(const std::string &text)
+{
+    const std::string key = toLower(trim(text));
+    for (CompileStage stage :
+         {CompileStage::kLoad, CompileStage::kValidate, CompileStage::kTune,
+          CompileStage::kSchedule, CompileStage::kCodegen,
+          CompileStage::kPerf, CompileStage::kVerify}) {
+        if (key == compileStageName(stage))
+            return stage;
+    }
+    return invalidArgument(
+        "unknown compile stage '" + text
+        + "' (expected load | validate | tune | schedule | codegen | "
+          "perf | verify)");
+}
+
+StatusOr<ScheduleOptions>
+scheduleOptionsByName(const std::string &level)
+{
+    if (level == "none")
+        return ScheduleOptions::none();
+    if (level == "cg")
+        return ScheduleOptions::cgOnly();
+    if (level == "cg+mvm" || level == "mvm")
+        return ScheduleOptions::cgMvm();
+    if (level == "full")
+        return ScheduleOptions::full();
+    return invalidArgument("unknown --opt level '" + level + "'");
+}
+
+// ----- CompileRequest -------------------------------------------------------
+
+Status
+CompileRequest::validate() const
+{
+    std::vector<std::string> workload_sources;
+    if (!model.empty())
+        workload_sources.push_back("model");
+    if (!model_file.empty())
+        workload_sources.push_back("model_file");
+    if (!model_text.empty())
+        workload_sources.push_back("model_text");
+    if (graph != nullptr)
+        workload_sources.push_back("graph");
+    if (workload_sources.empty())
+        return invalidArgument(
+            "no workload source (set one of model, model_file, "
+            "model_text, graph)");
+    if (workload_sources.size() > 1)
+        return invalidArgument("conflicting workload sources ("
+                               + join(workload_sources, ", ")
+                               + "); set exactly one");
+
+    std::vector<std::string> arch_sources;
+    if (!arch.empty())
+        arch_sources.push_back("arch");
+    if (!arch_file.empty())
+        arch_sources.push_back("arch_file");
+    if (!arch_text.empty())
+        arch_sources.push_back("arch_text");
+    if (arch_ref != nullptr)
+        arch_sources.push_back("arch_ref");
+    if (arch_sources.size() > 1)
+        return invalidArgument("conflicting architecture sources ("
+                               + join(arch_sources, ", ")
+                               + "); set at most one");
+
+    if (!options.has_value()) {
+        auto parsed = scheduleOptionsByName(opt);
+        if (!parsed.isOk())
+            return parsed.status();
+    }
+    if (threads < 0)
+        return invalidArgument("threads must be >= 0 (0 = hardware "
+                               "concurrency)");
+    if (outputs.flow_limit < 0)
+        return invalidArgument("outputs.flow_limit must be >= 0");
+    return Status::ok();
+}
+
+// ----- CompileArtifacts -----------------------------------------------------
+
+std::int64_t
+CompileArtifacts::flowStatements() const
+{
+    return code.has_value() ? code->program.counts().total() : 0;
+}
+
+namespace {
+
+ConfigValue
+number(double v)
+{
+    return ConfigValue::makeNumber(v);
+}
+
+ConfigValue
+number(std::int64_t v)
+{
+    return ConfigValue::makeNumber(static_cast<double>(v));
+}
+
+ConfigValue
+text(std::string v)
+{
+    return ConfigValue::makeString(std::move(v));
+}
+
+ConfigValue
+optionsToConfig(const ScheduleOptions &options)
+{
+    ConfigValue::Object knobs;
+    knobs["cg_duplication"] = ConfigValue::makeBool(options.cg_duplication);
+    knobs["cg_pipeline"] = ConfigValue::makeBool(options.cg_pipeline);
+    knobs["mvm_duplication"] =
+        ConfigValue::makeBool(options.mvm_duplication);
+    knobs["mvm_pipeline"] = ConfigValue::makeBool(options.mvm_pipeline);
+    knobs["vvm_remap"] = ConfigValue::makeBool(options.vvm_remap);
+    knobs["binding"] = text(options.binding.bit_binding == XbarDim::kXB
+                                ? "bits-to-crossbars"
+                                : "bits-to-columns");
+    knobs["segment_max_nodes"] = number(options.segment_max_nodes);
+    knobs["text"] = text(options.toString());
+    return ConfigValue::makeObject(std::move(knobs));
+}
+
+} // namespace
+
+ConfigValue
+CompileArtifacts::toConfig() const
+{
+    ConfigValue::Object doc;
+    doc["schema"] = text("cimmlc.report.v1");
+
+    ConfigValue::Object workload_obj;
+    workload_obj["name"] = text(workload);
+    workload_obj["nodes"] = number(nodes);
+    workload_obj["weights"] = number(weights);
+    doc["workload"] = ConfigValue::makeObject(std::move(workload_obj));
+
+    ConfigValue::Object arch_obj;
+    arch_obj["name"] = text(arch_name);
+    arch_obj["mode"] = text(arch_mode);
+    doc["arch"] = ConfigValue::makeObject(std::move(arch_obj));
+
+    ConfigValue::Object config_obj;
+    config_obj["options"] = optionsToConfig(options);
+    config_obj["tuned"] = ConfigValue::makeBool(tuned);
+    doc["config"] = ConfigValue::makeObject(std::move(config_obj));
+
+    if (tune.has_value()) {
+        ConfigValue::Object tune_obj;
+        tune_obj["objective"] = text(tuneObjectiveName(tune->objective));
+        tune_obj["candidates"] =
+            number(static_cast<std::int64_t>(tune->candidates.size()));
+        tune_obj["best"] = optionsToConfig(tune->best().options);
+        tune_obj["speedup_over_default"] =
+            number(tune->speedupOverDefault());
+        tune_obj["cache_hits"] = number(tune->cache_hits);
+        doc["tune"] = ConfigValue::makeObject(std::move(tune_obj));
+    }
+
+    if (perf.has_value()) {
+        ConfigValue::Object perf_obj;
+        perf_obj["latency_cycles"] = number(perf->latency_cycles);
+        perf_obj["reload_cycles"] = number(perf->reload_cycles);
+        ConfigValue::Object energy;
+        energy["total_pj"] = number(perf->energy.total());
+        energy["xbar_pj"] = number(perf->energy.xbar_pj);
+        energy["adc_dac_pj"] = number(perf->energy.adc_dac_pj);
+        energy["movement_pj"] = number(perf->energy.movement_pj);
+        energy["alu_pj"] = number(perf->energy.alu_pj);
+        energy["write_pj"] = number(perf->energy.write_pj);
+        perf_obj["energy"] = ConfigValue::makeObject(std::move(energy));
+        perf_obj["peak_power_mw"] = number(perf->peak_power_mw);
+        perf_obj["avg_power_mw"] = number(perf->avg_power_mw);
+        perf_obj["peak_active_xbs"] = number(perf->peak_active_xbs);
+        perf_obj["crossbars_mapped"] = number(perf->crossbars_mapped);
+        perf_obj["crossbar_utilization"] =
+            number(perf->crossbar_utilization);
+        perf_obj["text"] = text(perf->toString());
+        doc["perf"] = ConfigValue::makeObject(std::move(perf_obj));
+    }
+
+    if (code.has_value()) {
+        ConfigValue::Object flow_obj;
+        flow_obj["statements"] = number(flowStatements());
+        flow_obj["executable"] = ConfigValue::makeBool(code->executable);
+        flow_obj["summary"] = text(code->program.summary());
+        if (!flow_text.empty())
+            flow_obj["text"] = text(flow_text);
+        doc["flow"] = ConfigValue::makeObject(std::move(flow_obj));
+    }
+
+    if (!schedule_report.empty())
+        doc["schedule_report"] = text(schedule_report);
+
+    if (verify.has_value()) {
+        ConfigValue::Object verify_obj;
+        verify_obj["match"] = ConfigValue::makeBool(verify->match);
+        verify_obj["outputs_checked"] = number(verify->outputs_checked);
+        verify_obj["elements_checked"] = number(verify->elements_checked);
+        verify_obj["mismatches"] = number(verify->mismatches);
+        if (!verify->first_mismatch.empty())
+            verify_obj["first_mismatch"] = text(verify->first_mismatch);
+        verify_obj["flow_ops"] = number(verify->flow_ops);
+        doc["verify"] = ConfigValue::makeObject(std::move(verify_obj));
+    }
+
+    ConfigValue::Array stage_rows;
+    for (const StageTrace &trace : stages) {
+        ConfigValue::Object row;
+        row["stage"] = text(compileStageName(trace.stage));
+        row["status"] = text(trace.status.toString());
+        row["wall_ms"] = number(trace.wall_ms);
+        if (!trace.detail.empty())
+            row["detail"] = text(trace.detail);
+        stage_rows.push_back(ConfigValue::makeObject(std::move(row)));
+    }
+    doc["stages"] = ConfigValue::makeArray(std::move(stage_rows));
+
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+// ----- CompilerSession ------------------------------------------------------
+
+bool
+CompilerSession::stageEnabled(CompileStage stage) const
+{
+    switch (stage) {
+      case CompileStage::kTune: return request_.tune;
+      case CompileStage::kCodegen: return request_.outputs.flow;
+      case CompileStage::kPerf: return request_.outputs.perf;
+      case CompileStage::kVerify: return request_.outputs.verify;
+      default: return true;
+    }
+}
+
+Status
+CompilerSession::stageLoad(CompileArtifacts &artifacts, std::string &detail)
+{
+    if (request_.graph != nullptr) {
+        graph_ = request_.graph;
+    } else if (!request_.model.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(owned_graph_,
+                                models::byNameChecked(request_.model));
+        graph_ = &*owned_graph_;
+    } else if (!request_.model_file.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(owned_graph_,
+                                graphFromFile(request_.model_file));
+        graph_ = &*owned_graph_;
+    } else {
+        CIMMLC_ASSIGN_OR_RETURN(owned_graph_,
+                                graphFromText(request_.model_text));
+        graph_ = &*owned_graph_;
+    }
+
+    if (request_.arch_ref != nullptr) {
+        arch_ = request_.arch_ref;
+    } else if (!request_.arch_file.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(owned_arch_,
+                                archFromFile(request_.arch_file));
+        arch_ = &*owned_arch_;
+    } else if (!request_.arch_text.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(owned_arch_,
+                                archFromText(request_.arch_text));
+        arch_ = &*owned_arch_;
+    } else {
+        const std::string name =
+            request_.arch.empty() ? "isaac-baseline" : request_.arch;
+        CIMMLC_ASSIGN_OR_RETURN(owned_arch_, presets::byName(name));
+        arch_ = &*owned_arch_;
+    }
+
+    artifacts.workload = graph_->name();
+    artifacts.nodes = static_cast<std::int64_t>(graph_->nodeCount());
+    artifacts.weights = graph_->totalWeights();
+    artifacts.arch_name = arch_->name;
+    artifacts.arch_mode = computeModeName(arch_->mode);
+    artifacts.arch_text = arch_->toString();
+    detail = strformat("workload '%s' (%lld nodes, %lld weights) on "
+                       "arch '%s' [%s]",
+                       artifacts.workload.c_str(),
+                       static_cast<long long>(artifacts.nodes),
+                       static_cast<long long>(artifacts.weights),
+                       artifacts.arch_name.c_str(),
+                       artifacts.arch_mode.c_str());
+    return Status::ok();
+}
+
+Status
+CompilerSession::stageValidate(std::string &detail)
+{
+    CIMMLC_RETURN_IF_ERROR(validateGraphForScheduling(*graph_));
+    CIMMLC_RETURN_IF_ERROR(arch_->validate());
+    detail = "graph and Abs-arch preconditions hold";
+    return Status::ok();
+}
+
+Status
+CompilerSession::stageTune(CompileArtifacts &artifacts, std::string &detail)
+{
+    AutoTuneConfig config;
+    config.objective = request_.objective;
+    config.threads = request_.threads;
+    config.cache = request_.tune_cache;
+    const AutoTuner tuner(config);
+    CIMMLC_ASSIGN_OR_RETURN(TuneResult tuned, tuner.tune(*graph_, *arch_));
+    artifacts.options = tuned.best().options;
+    artifacts.tuned = true;
+    artifacts.tune = std::move(tuned);
+    detail = artifacts.tune->summary();
+    return Status::ok();
+}
+
+Status
+CompilerSession::stageSchedule(CompileArtifacts &artifacts,
+                               std::string &detail)
+{
+    CIMMLC_ASSIGN_OR_RETURN(
+        artifacts.schedule,
+        scheduleGraph(*graph_, *arch_, artifacts.options));
+    if (request_.outputs.schedule_report)
+        artifacts.schedule_report = artifacts.schedule->summary(*graph_);
+    detail = strformat("%zu segments, latency %.6g cycles, config %s",
+                       artifacts.schedule->segments.size(),
+                       artifacts.schedule->total_latency_cycles,
+                       artifacts.options.toString().c_str());
+    return Status::ok();
+}
+
+Status
+CompilerSession::stageCodegen(CompileArtifacts &artifacts,
+                              std::string &detail)
+{
+    CIMMLC_ASSIGN_OR_RETURN(artifacts.code,
+                            generateProgram(*graph_, *arch_,
+                                            *artifacts.schedule,
+                                            request_.codegen));
+    if (request_.outputs.flow_text) {
+        PrintOptions print;
+        print.max_statements = request_.outputs.flow_limit;
+        artifacts.flow_text = printProgram(artifacts.code->program, print);
+    }
+    detail = artifacts.code->program.summary();
+    return Status::ok();
+}
+
+Status
+CompilerSession::stagePerf(CompileArtifacts &artifacts, std::string &detail)
+{
+    CIMMLC_ASSIGN_OR_RETURN(
+        artifacts.perf,
+        evaluateSchedule(*graph_, *arch_, *artifacts.schedule));
+    detail = artifacts.perf->toString();
+    return Status::ok();
+}
+
+Status
+CompilerSession::stageVerify(CompileArtifacts &artifacts,
+                             std::string &detail)
+{
+    CIMMLC_ASSIGN_OR_RETURN(
+        artifacts.verify,
+        verifyWithRandomStimulus(*graph_, *arch_, artifacts.options,
+                                 request_.verify_seed));
+    detail = strformat(
+        "%s (%lld elements, %lld flow ops)",
+        artifacts.verify->match ? "BIT-EXACT MATCH" : "MISMATCH",
+        static_cast<long long>(artifacts.verify->elements_checked),
+        static_cast<long long>(artifacts.verify->flow_ops));
+    return Status::ok();
+}
+
+Status
+CompilerSession::runStage(CompileStage stage, CompileArtifacts &artifacts)
+{
+    StageTrace trace;
+    trace.stage = stage;
+    const auto start = std::chrono::steady_clock::now();
+    switch (stage) {
+      case CompileStage::kLoad:
+        trace.status = stageLoad(artifacts, trace.detail);
+        break;
+      case CompileStage::kValidate:
+        trace.status = stageValidate(trace.detail);
+        break;
+      case CompileStage::kTune:
+        trace.status = stageTune(artifacts, trace.detail);
+        break;
+      case CompileStage::kSchedule:
+        trace.status = stageSchedule(artifacts, trace.detail);
+        break;
+      case CompileStage::kCodegen:
+        trace.status = stageCodegen(artifacts, trace.detail);
+        break;
+      case CompileStage::kPerf:
+        trace.status = stagePerf(artifacts, trace.detail);
+        break;
+      case CompileStage::kVerify:
+        trace.status = stageVerify(artifacts, trace.detail);
+        break;
+    }
+    trace.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    artifacts.stages.push_back(std::move(trace));
+    if (observer_)
+        observer_(artifacts.stages.back(), artifacts);
+    return artifacts.stages.back().status.withContext(
+        compileStageName(stage));
+}
+
+StatusOr<CompileArtifacts>
+CompilerSession::run()
+{
+    {
+        const Status valid = request_.validate();
+        if (!valid.isOk())
+            return valid.withContext("CompileRequest");
+    }
+
+    CompileArtifacts artifacts;
+    if (request_.options.has_value()) {
+        artifacts.options = *request_.options;
+    } else {
+        CIMMLC_ASSIGN_OR_RETURN(artifacts.options,
+                                scheduleOptionsByName(request_.opt));
+    }
+
+    for (CompileStage stage :
+         {CompileStage::kLoad, CompileStage::kValidate, CompileStage::kTune,
+          CompileStage::kSchedule, CompileStage::kCodegen,
+          CompileStage::kPerf, CompileStage::kVerify}) {
+        if (stageEnabled(stage))
+            CIMMLC_RETURN_IF_ERROR(runStage(stage, artifacts));
+        if (stage == request_.stop_after)
+            break;
+    }
+    return artifacts;
+}
+
+} // namespace cimmlc

@@ -1,5 +1,6 @@
 #include "funcsim/verify.h"
 
+#include "common/rng.h"
 #include "common/strutil.h"
 #include "funcsim/simulator.h"
 #include "graph/reference.h"
@@ -62,6 +63,23 @@ verifyCompiledFlow(const Graph &graph, const CimArchitecture &arch,
     }
     report.match = report.mismatches == 0;
     return report;
+}
+
+StatusOr<VerifyReport>
+verifyWithRandomStimulus(const Graph &graph, const CimArchitecture &arch,
+                         const ScheduleOptions &options,
+                         std::uint64_t seed)
+{
+    Graph stimulated = graph;
+    Rng rng(seed);
+    stimulated.randomizeWeights(rng);
+    std::map<TensorId, Int8Tensor> inputs;
+    for (TensorId in : stimulated.inputs()) {
+        Int8Tensor tensor(TensorShape(stimulated.tensor(in).dims));
+        tensor.fillRandom(rng, -16, 16);
+        inputs.emplace(in, std::move(tensor));
+    }
+    return verifyCompiledFlow(stimulated, arch, options, inputs);
 }
 
 } // namespace cimmlc

@@ -8,6 +8,7 @@
 #ifndef CIMMLC_FUNCSIM_VERIFY_H
 #define CIMMLC_FUNCSIM_VERIFY_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -41,6 +42,17 @@ StatusOr<VerifyReport>
 verifyCompiledFlow(const Graph &graph, const CimArchitecture &arch,
                    const ScheduleOptions &options,
                    const std::map<TensorId, Int8Tensor> &inputs);
+
+/**
+ * Convenience entry for the session pipeline's verify stage: copies
+ * @p graph, installs seeded random weights (in [-8, 8]) and graph
+ * inputs (in [-16, 16]) drawn from one SplitMix64 stream, and runs
+ * verifyCompiledFlow. The same seed always produces the same stimulus.
+ */
+StatusOr<VerifyReport>
+verifyWithRandomStimulus(const Graph &graph, const CimArchitecture &arch,
+                         const ScheduleOptions &options,
+                         std::uint64_t seed = 1234);
 
 } // namespace cimmlc
 

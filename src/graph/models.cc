@@ -1,5 +1,7 @@
 #include "graph/models.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/strutil.h"
 
@@ -441,6 +443,17 @@ byName(const std::string &name)
     if (key == "vit_tiny")
         return vitTiny();
     fatal("unknown model '" + name + "'");
+}
+
+StatusOr<Graph>
+byNameChecked(const std::string &name)
+{
+    const std::string key = toLower(name);
+    const std::vector<std::string> known = availableModels();
+    if (std::find(known.begin(), known.end(), key) == known.end())
+        return notFound("unknown model '" + name
+                        + "' (see --list-models)");
+    return byName(key);
 }
 
 std::vector<std::string>

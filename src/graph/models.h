@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace cimmlc::models {
@@ -75,8 +76,12 @@ Graph vitBase();  //!< ViT-B/16
 Graph vitSmall(); //!< dim 384, 6 heads
 Graph vitTiny();  //!< dim 192, 3 heads
 
-/** Builds a model by canonical name ("resnet18", "vgg16", ...). */
+/** Builds a model by canonical name ("resnet18", "vgg16", ...).
+ * Unknown names are fatal; prefer byNameChecked on user input. */
 Graph byName(const std::string &name);
+
+/** Checked lookup: NotFound for unknown names instead of aborting. */
+StatusOr<Graph> byNameChecked(const std::string &name);
 
 /** Names accepted by byName, in a stable order. */
 std::vector<std::string> availableModels();

@@ -6,7 +6,7 @@
 #include "common/strutil.h"
 #include "common/table.h"
 #include "common/threadpool.h"
-#include "perfsim/perf_model.h"
+#include "compiler/session.h"
 #include "sched/multi_level.h"
 
 namespace cimmlc {
@@ -98,14 +98,22 @@ evaluateCandidate(const Graph &graph, const CimArchitecture &arch,
         }
     }
 
+    // Each candidate is priced through the shared staged pipeline
+    // (schedule + perf only — no codegen), so the tuner holds no
+    // private copy of the compile flow.
     auto fill = [&]() -> Status {
-        CIMMLC_ASSIGN_OR_RETURN(
-            const Schedule schedule,
-            scheduleGraph(graph, arch, candidate.options));
-        CIMMLC_ASSIGN_OR_RETURN(const PerfReport perf,
-                                evaluateSchedule(graph, arch, schedule));
-        candidate.latency_cycles = perf.latency_cycles;
-        candidate.energy_pj = perf.energy.total();
+        CompileRequest request;
+        request.graph = &graph;
+        request.arch_ref = &arch;
+        request.options = candidate.options;
+        request.threads = 1;
+        request.outputs.flow = false;
+        request.stop_after = CompileStage::kPerf;
+        CompilerSession session(std::move(request));
+        CIMMLC_ASSIGN_OR_RETURN(const CompileArtifacts artifacts,
+                                session.run());
+        candidate.latency_cycles = artifacts.perf->latency_cycles;
+        candidate.energy_pj = artifacts.perf->energy.total();
         candidate.edp = candidate.latency_cycles * candidate.energy_pj;
         return Status::ok();
     };

@@ -7,8 +7,9 @@
  * The tuner enumerates every legal `ScheduleOptions x DimensionBinding`
  * point for an architecture — clamped by its ComputeMode exactly as
  * `scheduleGraph` clamps, so a CM chip never wastes candidates on
- * MVM/VVM knobs — evaluates each point through the scheduler and the
- * analytic performance model, and returns the best configuration under a
+ * MVM/VVM knobs — prices each point through the staged CompilerSession
+ * pipeline (schedule + perf stages; see compiler/session.h), and returns
+ * the best configuration under a
  * selectable objective. Candidate evaluation fans out over the
  * work-stealing ThreadPool; results are independent of thread count
  * because every candidate owns a pre-assigned slot and ties break on the

@@ -225,5 +225,44 @@ TEST(SweepParseTest, RejectsUnknownNamesUpFront)
     EXPECT_EQ(sweep.status().code(), StatusCode::kNotFound);
 }
 
+TEST(SweepParseTest, MissingModelsKeyNamesTheKey)
+{
+    auto sweep = sweepFromText(R"({"archs": ["isaac"]})");
+    ASSERT_FALSE(sweep.isOk());
+    EXPECT_NE(sweep.status().message().find("models"),
+              std::string::npos);
+}
+
+TEST(SweepParseTest, MissingArchsKeyNamesTheKey)
+{
+    auto sweep = sweepFromText(R"({"models": ["mlp"]})");
+    ASSERT_FALSE(sweep.isOk());
+    EXPECT_NE(sweep.status().message().find("archs"), std::string::npos);
+}
+
+TEST(SweepParseTest, RejectsBadObjective)
+{
+    auto sweep = sweepFromText(
+        R"({"models": ["mlp"], "archs": ["isaac"],
+            "tune": true, "objective": "throughput"})");
+    ASSERT_FALSE(sweep.isOk());
+    EXPECT_EQ(sweep.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(sweep.status().message().find("throughput"),
+              std::string::npos);
+}
+
+TEST(SweepParseTest, RejectsNegativeThreads)
+{
+    auto sweep = sweepFromText(
+        R"({"models": ["mlp"], "archs": ["isaac"], "threads": -1})");
+    ASSERT_FALSE(sweep.isOk());
+    EXPECT_EQ(sweep.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SweepParseTest, NonObjectDocumentIsAParseError)
+{
+    EXPECT_FALSE(sweepFromText(R"(["mlp", "isaac"])").isOk());
+}
+
 } // namespace
 } // namespace cimmlc

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the staged compilation-session API: CompileRequest
+ * validation, stage planning (stop_after, requested outputs), the
+ * observer hook, artifact completeness, the kvjson report round-trip,
+ * and equivalence with the deprecated CimCompiler shim.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/presets.h"
+#include "common/config.h"
+#include "compiler/compiler.h"
+#include "compiler/session.h"
+#include "graph/models.h"
+
+namespace cimmlc {
+namespace {
+
+CompileRequest
+borrowedRequest(const Graph &graph, const CimArchitecture &arch)
+{
+    CompileRequest request;
+    request.graph = &graph;
+    request.arch_ref = &arch;
+    request.threads = 1;
+    return request;
+}
+
+// ----- CompileRequest validation -----------------------------------------
+
+TEST(CompileRequestTest, RejectsMissingWorkloadSource)
+{
+    CompileRequest request;
+    const Status status = request.validate();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("no workload source"),
+              std::string::npos);
+}
+
+TEST(CompileRequestTest, RejectsConflictingWorkloadSources)
+{
+    CompileRequest request;
+    request.model = "lenet5";
+    request.model_file = "net.json";
+    const Status status = request.validate();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("conflicting workload sources"),
+              std::string::npos);
+    // The message names the offenders.
+    EXPECT_NE(status.message().find("model_file"), std::string::npos);
+}
+
+TEST(CompileRequestTest, RejectsBorrowedGraphPlusNamedModel)
+{
+    const Graph graph = models::convReluToy();
+    CompileRequest request;
+    request.graph = &graph;
+    request.model = "lenet5";
+    EXPECT_FALSE(request.validate().isOk());
+}
+
+TEST(CompileRequestTest, RejectsConflictingArchSources)
+{
+    CompileRequest request;
+    request.model = "lenet5";
+    request.arch = "isaac-baseline";
+    request.arch_file = "chip.json";
+    const Status status = request.validate();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("conflicting architecture sources"),
+              std::string::npos);
+}
+
+TEST(CompileRequestTest, RejectsUnknownOptLevel)
+{
+    CompileRequest request;
+    request.model = "lenet5";
+    request.opt = "turbo";
+    EXPECT_FALSE(request.validate().isOk());
+    // An explicit ScheduleOptions makes the opt name irrelevant.
+    request.options = ScheduleOptions::full();
+    EXPECT_TRUE(request.validate().isOk());
+}
+
+TEST(CompileRequestTest, RejectsNegativeThreadsAndFlowLimit)
+{
+    CompileRequest request;
+    request.model = "lenet5";
+    request.threads = -1;
+    EXPECT_FALSE(request.validate().isOk());
+    request.threads = 0;
+    request.outputs.flow_limit = -5;
+    EXPECT_FALSE(request.validate().isOk());
+}
+
+TEST(CompileRequestTest, DefaultRequestWithModelIsValid)
+{
+    CompileRequest request;
+    request.model = "lenet5";
+    EXPECT_TRUE(request.validate().isOk());
+}
+
+// ----- stage planning ------------------------------------------------------
+
+TEST(CompilerSessionTest, RunProducesAllArtifactsAndStageTraces)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompilerSession session(borrowedRequest(graph, arch));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const CompileArtifacts &artifacts = result.value();
+
+    EXPECT_EQ(artifacts.workload, graph.name());
+    EXPECT_EQ(artifacts.nodes,
+              static_cast<std::int64_t>(graph.nodeCount()));
+    EXPECT_EQ(artifacts.weights, graph.totalWeights());
+    EXPECT_EQ(artifacts.arch_name, arch.name);
+
+    ASSERT_TRUE(artifacts.schedule.has_value());
+    ASSERT_TRUE(artifacts.code.has_value());
+    ASSERT_TRUE(artifacts.perf.has_value());
+    EXPECT_FALSE(artifacts.verify.has_value());
+    EXPECT_FALSE(artifacts.tuned);
+    EXPECT_GT(artifacts.flowStatements(), 0);
+
+    const std::vector<CompileStage> expected = {
+        CompileStage::kLoad, CompileStage::kValidate,
+        CompileStage::kSchedule, CompileStage::kCodegen,
+        CompileStage::kPerf};
+    ASSERT_EQ(artifacts.stages.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(artifacts.stages[i].stage, expected[i]);
+        EXPECT_TRUE(artifacts.stages[i].status.isOk());
+        EXPECT_GE(artifacts.stages[i].wall_ms, 0.0);
+        EXPECT_FALSE(artifacts.stages[i].detail.empty());
+    }
+}
+
+TEST(CompilerSessionTest, StopAfterScheduleSubsumesScheduleOnly)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.stop_after = CompileStage::kSchedule;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    EXPECT_TRUE(result.value().schedule.has_value());
+    EXPECT_FALSE(result.value().code.has_value());
+    EXPECT_FALSE(result.value().perf.has_value());
+    EXPECT_EQ(result.value().stages.back().stage,
+              CompileStage::kSchedule);
+}
+
+TEST(CompilerSessionTest, FlowDisabledSkipsCodegenButKeepsPerf)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.outputs.flow = false;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    EXPECT_FALSE(result.value().code.has_value());
+    ASSERT_TRUE(result.value().perf.has_value());
+    EXPECT_GT(result.value().perf->latency_cycles, 0.0);
+    for (const StageTrace &trace : result.value().stages)
+        EXPECT_NE(trace.stage, CompileStage::kCodegen);
+}
+
+TEST(CompilerSessionTest, RequestedReportsAreMaterialized)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.outputs.schedule_report = true;
+    request.outputs.flow_text = true;
+    request.outputs.flow_limit = 8;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    EXPECT_FALSE(result.value().schedule_report.empty());
+    EXPECT_FALSE(result.value().flow_text.empty());
+}
+
+TEST(CompilerSessionTest, ObserverSeesStagesInOrder)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompilerSession session(borrowedRequest(graph, arch));
+    std::vector<CompileStage> seen;
+    session.setObserver(
+        [&seen](const StageTrace &trace, const CompileArtifacts &) {
+            seen.push_back(trace.stage);
+        });
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    ASSERT_EQ(seen.size(), result.value().stages.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], result.value().stages[i].stage);
+}
+
+// ----- workload / architecture resolution ---------------------------------
+
+TEST(CompilerSessionTest, LoadsModelAndArchByPresetName)
+{
+    CompileRequest request;
+    request.model = "conv_relu_toy";
+    request.arch = "tutorial";
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value().workload, "conv_relu_toy");
+}
+
+TEST(CompilerSessionTest, UnknownModelFailsAtLoadWithNotFound)
+{
+    CompileRequest request;
+    request.model = "resnet9000";
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(result.status().message().find("load"), std::string::npos);
+}
+
+TEST(CompilerSessionTest, InlineModelTextLoads)
+{
+    CompileRequest request;
+    request.model_text = R"({
+        "name": "inline_toy",
+        "inputs": [{"name": "x", "dims": [1, 16]}],
+        "nodes": [{"op": "linear", "name": "fc", "inputs": ["x"],
+                   "out_features": 4}],
+        "outputs": ["fc"]
+    })";
+    request.arch = "tutorial";
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value().workload, "inline_toy");
+}
+
+TEST(CompilerSessionTest, EmptyArchDefaultsToIsaacBaseline)
+{
+    CompileRequest request;
+    request.model = "conv_relu_toy";
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().arch_name, "isaac-baseline");
+}
+
+// ----- tuning / verification stages ---------------------------------------
+
+TEST(CompilerSessionTest, TuneStageSelectsTunedOptions)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kWLM);
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.tune = true;
+    request.objective = TuneObjective::kEdp;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_TRUE(result.value().tuned);
+    ASSERT_TRUE(result.value().tune.has_value());
+    EXPECT_EQ(result.value().tune->objective, TuneObjective::kEdp);
+    EXPECT_EQ(result.value().options.toString(),
+              result.value().tune->best().options.toString());
+}
+
+TEST(CompilerSessionTest, VerifyStageReportsBitExactMatch)
+{
+    const Graph graph = models::convReluToy();
+    const CimArchitecture arch =
+        presets::tutorialTable2(ComputeMode::kXBM);
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.outputs.verify = true;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    ASSERT_TRUE(result.value().verify.has_value());
+    EXPECT_TRUE(result.value().verify->match);
+    EXPECT_GT(result.value().verify->elements_checked, 0);
+    EXPECT_EQ(result.value().stages.back().stage, CompileStage::kVerify);
+}
+
+// ----- kvjson report -------------------------------------------------------
+
+TEST(CompilerSessionTest, ReportRoundTripsThroughKvjsonReader)
+{
+    const Graph graph = models::lenet5();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompilerSession session(borrowedRequest(graph, arch));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    const CompileArtifacts &artifacts = result.value();
+
+    const std::string dumped = artifacts.toConfig().dump(true);
+    auto parsed = parseConfig(dumped);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    const ConfigValue &doc = parsed.value();
+
+    EXPECT_EQ(doc.getStringOr("schema", ""), "cimmlc.report.v1");
+    auto perf = doc.get("perf");
+    ASSERT_TRUE(perf.isOk());
+    // %.17g round-trips doubles exactly: the parsed latency must be
+    // bit-identical to the in-memory perf report, not approximately so.
+    EXPECT_EQ(perf.value().getNumberOr("latency_cycles", -1.0),
+              artifacts.perf->latency_cycles);
+    auto energy = perf.value().get("energy");
+    ASSERT_TRUE(energy.isOk());
+    EXPECT_EQ(energy.value().getNumberOr("total_pj", -1.0),
+              artifacts.perf->energy.total());
+    EXPECT_EQ(perf.value().getStringOr("text", ""),
+              artifacts.perf->toString());
+
+    auto stages = doc.get("stages");
+    ASSERT_TRUE(stages.isOk());
+    ASSERT_TRUE(stages.value().isArray());
+    EXPECT_EQ(stages.value().asArray().size(), artifacts.stages.size());
+    EXPECT_EQ(stages.value().asArray()[0].getStringOr("stage", ""),
+              "load");
+
+    auto flow = doc.get("flow");
+    ASSERT_TRUE(flow.isOk());
+    EXPECT_EQ(flow.value().getIntOr("statements", -1),
+              artifacts.flowStatements());
+}
+
+// ----- stage naming --------------------------------------------------------
+
+TEST(CompileStageTest, NamesRoundTrip)
+{
+    for (CompileStage stage :
+         {CompileStage::kLoad, CompileStage::kValidate, CompileStage::kTune,
+          CompileStage::kSchedule, CompileStage::kCodegen,
+          CompileStage::kPerf, CompileStage::kVerify}) {
+        auto parsed = parseCompileStage(compileStageName(stage));
+        ASSERT_TRUE(parsed.isOk());
+        EXPECT_EQ(parsed.value(), stage);
+    }
+    EXPECT_FALSE(parseCompileStage("link").isOk());
+}
+
+// ----- deprecated shim -----------------------------------------------------
+
+TEST(CompilerSessionTest, CimCompilerShimMatchesSessionBitForBit)
+{
+    const Graph graph = models::lenet5();
+    const CimArchitecture arch = presets::isaacBaseline();
+
+    CimCompiler compiler(arch);
+    auto legacy = compiler.compile(graph);
+    ASSERT_TRUE(legacy.isOk());
+
+    CompilerSession session(borrowedRequest(graph, arch));
+    auto staged = session.run();
+    ASSERT_TRUE(staged.isOk());
+
+    EXPECT_EQ(legacy.value().perf.latency_cycles,
+              staged.value().perf->latency_cycles);
+    EXPECT_EQ(legacy.value().perf.energy.total(),
+              staged.value().perf->energy.total());
+    EXPECT_EQ(legacy.value().schedule.total_latency_cycles,
+              staged.value().schedule->total_latency_cycles);
+    EXPECT_EQ(legacy.value().code.program.counts().total(),
+              staged.value().code->program.counts().total());
+}
+
+} // namespace
+} // namespace cimmlc
