@@ -1,5 +1,10 @@
 #include "arch/serialize.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.h"
+
 namespace cimmlc {
 
 namespace {
@@ -204,6 +209,312 @@ archToConfig(const CimArchitecture &arch)
     doc["core_tier"] = ConfigValue::makeObject(std::move(core));
     doc["xb_tier"] = ConfigValue::makeObject(std::move(xb));
     return ConfigValue::makeObject(std::move(doc));
+}
+
+// ----- Abs-arch sweep space (architecture DSE) -----------------------------
+
+namespace {
+
+constexpr ArchParam kAllArchParams[] = {
+    ArchParam::kXbSize,           ArchParam::kXbGrid,
+    ArchParam::kCoreGrid,         ArchParam::kCoreNoc,
+    ArchParam::kCoreNocBandwidth, ArchParam::kL0Bandwidth,
+    ArchParam::kL1Bandwidth,      ArchParam::kComputeMode,
+};
+
+/** Whether an axis takes [rows, cols] pairs, scalars, or names. */
+enum class ParamKind { kGrid, kBandwidth, kName };
+
+ParamKind
+paramKind(ArchParam param)
+{
+    switch (param) {
+      case ArchParam::kXbSize:
+      case ArchParam::kXbGrid:
+      case ArchParam::kCoreGrid:
+        return ParamKind::kGrid;
+      case ArchParam::kCoreNoc:
+      case ArchParam::kComputeMode:
+        return ParamKind::kName;
+      case ArchParam::kCoreNocBandwidth:
+      case ArchParam::kL0Bandwidth:
+      case ArchParam::kL1Bandwidth:
+        return ParamKind::kBandwidth;
+    }
+    return ParamKind::kBandwidth;
+}
+
+/**
+ * Reads an exactly-representable integer. Fractional values are
+ * rejected rather than truncated (a "core_grid": [2.5] must not
+ * silently become a 2x2 grid), and the magnitude is capped so the
+ * log2 doubling loop below cannot overflow.
+ */
+bool
+integerValue(const ConfigValue &item, std::int64_t *out)
+{
+    if (!item.isNumber())
+        return false;
+    const double value = item.asNumber();
+    if (!(value == std::floor(value)) || value < -1.0e18
+        || value > 1.0e18)
+        return false;
+    *out = static_cast<std::int64_t>(value);
+    return true;
+}
+
+/** Validates and canonicalizes one name-kind value. */
+StatusOr<std::string>
+canonicalParamName(ArchParam param, const std::string &text)
+{
+    if (param == ArchParam::kCoreNoc) {
+        CIMMLC_ASSIGN_OR_RETURN(const NocType noc, parseNocType(text));
+        return std::string(nocTypeName(noc));
+    }
+    CIMMLC_ASSIGN_OR_RETURN(const ComputeMode mode,
+                            parseComputeMode(text));
+    return std::string(computeModeName(mode));
+}
+
+StatusOr<ArchParamValue>
+paramValueFromConfig(ArchParam param, const ConfigValue &item)
+{
+    const std::string key = archParamName(param);
+    ArchParamValue value;
+    switch (paramKind(param)) {
+      case ParamKind::kGrid: {
+        bool well_formed = false;
+        if (item.isNumber()) {
+            // A scalar N is shorthand for a square NxN grid.
+            well_formed = integerValue(item, &value.rows);
+            value.cols = value.rows;
+        } else if (item.isArray() && item.asArray().size() == 2) {
+            well_formed =
+                integerValue(item.asArray()[0], &value.rows)
+                && integerValue(item.asArray()[1], &value.cols);
+        }
+        if (!well_formed) {
+            return parseError("sweep '" + key
+                              + "' entries must be [rows, cols] integer "
+                                "arrays or square-size integers");
+        }
+        if (value.rows <= 0 || value.cols <= 0)
+            return parseError("sweep '" + key
+                              + "' dimensions must be positive");
+        return value;
+      }
+      case ParamKind::kBandwidth:
+        if (!item.isNumber())
+            return parseError("sweep '" + key
+                              + "' entries must be numbers");
+        value.number = item.asNumber();
+        if (value.number < 0.0)
+            return parseError("sweep '" + key + "' values must be >= 0");
+        return value;
+      case ParamKind::kName: {
+        if (!item.isString())
+            return parseError("sweep '" + key
+                              + "' entries must be strings");
+        auto canonical = canonicalParamName(param, item.asString());
+        if (!canonical.isOk())
+            return canonical.status().withContext("sweep '" + key + "'");
+        value.name = canonical.value();
+        return value;
+      }
+    }
+    return parseError("sweep '" + key + "': unsupported parameter");
+}
+
+/** Expands {"log2": [lo, hi]} into lo, 2*lo, ... <= hi. */
+StatusOr<std::vector<ArchParamValue>>
+expandLog2Range(ArchParam param, const ConfigValue &range)
+{
+    const std::string key = archParamName(param);
+    if (paramKind(param) == ParamKind::kName)
+        return parseError("sweep '" + key
+                          + "' is an enumeration; list its values "
+                            "explicitly instead of a log2 range");
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    if (!range.isArray() || range.asArray().size() != 2
+        || !integerValue(range.asArray()[0], &lo)
+        || !integerValue(range.asArray()[1], &hi))
+        return parseError("sweep '" + key
+                          + "' log2 range must be a [lo, hi] integer "
+                            "pair");
+    if (lo <= 0 || hi < lo)
+        return parseError(
+            strformat("sweep '%s' log2 range needs 0 < lo <= hi, got "
+                      "[%lld, %lld]",
+                      key.c_str(), static_cast<long long>(lo),
+                      static_cast<long long>(hi)));
+    std::vector<ArchParamValue> values;
+    for (std::int64_t n = lo;; n *= 2) {
+        ArchParamValue value;
+        if (paramKind(param) == ParamKind::kGrid) {
+            value.rows = n;
+            value.cols = n;
+        } else {
+            value.number = static_cast<double>(n);
+        }
+        values.push_back(value);
+        // Termination guard before doubling: integerValue caps hi at
+        // 1e18, so n never approaches the signed-overflow edge, but a
+        // plain `n * 2 <= hi` condition would be one refactor away
+        // from an infinite loop.
+        if (n > hi / 2)
+            break;
+    }
+    return values;
+}
+
+} // namespace
+
+const char *
+archParamName(ArchParam param)
+{
+    switch (param) {
+      case ArchParam::kXbSize: return "xb_size";
+      case ArchParam::kXbGrid: return "xb_grid";
+      case ArchParam::kCoreGrid: return "core_grid";
+      case ArchParam::kCoreNoc: return "core_noc";
+      case ArchParam::kCoreNocBandwidth: return "core_noc_bandwidth";
+      case ArchParam::kL0Bandwidth: return "l0_bandwidth";
+      case ArchParam::kL1Bandwidth: return "l1_bandwidth";
+      case ArchParam::kComputeMode: return "compute_mode";
+    }
+    return "?";
+}
+
+StatusOr<ArchParam>
+parseArchParam(const std::string &text)
+{
+    const std::string key = toLower(trim(text));
+    for (ArchParam param : kAllArchParams) {
+        if (key == archParamName(param))
+            return param;
+    }
+    return parseError(
+        "unknown sweep parameter '" + text
+        + "' (expected xb_size | xb_grid | core_grid | core_noc | "
+          "core_noc_bandwidth | l0_bandwidth | l1_bandwidth | "
+          "compute_mode)");
+}
+
+std::string
+archParamValueToString(ArchParam param, const ArchParamValue &value)
+{
+    switch (paramKind(param)) {
+      case ParamKind::kGrid:
+        return strformat("%lldx%lld", static_cast<long long>(value.rows),
+                         static_cast<long long>(value.cols));
+      case ParamKind::kBandwidth:
+        return formatDouble(value.number, 6);
+      case ParamKind::kName:
+        return value.name;
+    }
+    return "?";
+}
+
+std::size_t
+ArchSweepSpec::candidateCount() const
+{
+    std::size_t count = 1;
+    for (const ArchAxis &axis : axes)
+        count *= axis.values.size();
+    return count;
+}
+
+StatusOr<ArchSweepSpec>
+sweepSpecFromConfig(const ConfigValue &doc)
+{
+    if (!doc.isObject())
+        return parseError("sweep spec must be an object mapping "
+                          "parameter names to value lists");
+
+    ArchSweepSpec spec;
+    for (const auto &[key, item] : doc.asObject()) {
+        ArchAxis axis;
+        CIMMLC_ASSIGN_OR_RETURN(axis.param, parseArchParam(key));
+        if (item.isArray()) {
+            if (item.asArray().empty())
+                return parseError("sweep '" + key
+                                  + "' must list at least one value");
+            for (const ConfigValue &entry : item.asArray()) {
+                CIMMLC_ASSIGN_OR_RETURN(
+                    const ArchParamValue value,
+                    paramValueFromConfig(axis.param, entry));
+                axis.values.push_back(value);
+            }
+        } else if (item.isObject() && item.has("log2")) {
+            CIMMLC_ASSIGN_OR_RETURN(
+                axis.values,
+                expandLog2Range(axis.param, item.get("log2").value()));
+        } else {
+            return parseError("sweep '" + key
+                              + "' must be a value array or a "
+                                "{\"log2\": [lo, hi]} range");
+        }
+        spec.axes.push_back(std::move(axis));
+    }
+    // kvjson objects iterate alphabetically; re-order to the canonical
+    // parameter order so candidate enumeration (and therefore the DSE
+    // report) is independent of how the spec file spells its keys.
+    std::sort(spec.axes.begin(), spec.axes.end(),
+              [](const ArchAxis &a, const ArchAxis &b) {
+                  return static_cast<int>(a.param)
+                         < static_cast<int>(b.param);
+              });
+    return spec;
+}
+
+Status
+applyArchParam(CimArchitecture *arch, ArchParam param,
+               const ArchParamValue &value)
+{
+    switch (param) {
+      case ArchParam::kXbSize:
+        arch->xbar.rows = value.rows;
+        arch->xbar.cols = value.cols;
+        // parallel_row is a property of the crossbar being resized; a
+        // smaller array cannot keep the base design's activation width.
+        arch->xbar.parallel_row =
+            std::min(arch->xbar.parallel_row, arch->xbar.rows);
+        return Status::ok();
+      case ArchParam::kXbGrid:
+        arch->core.xb_rows = value.rows;
+        arch->core.xb_cols = value.cols;
+        arch->core.xb_noc_cost.clear();
+        return Status::ok();
+      case ArchParam::kCoreGrid:
+        arch->chip.core_rows = value.rows;
+        arch->chip.core_cols = value.cols;
+        arch->chip.core_noc_cost.clear();
+        return Status::ok();
+      case ArchParam::kCoreNoc: {
+        CIMMLC_ASSIGN_OR_RETURN(arch->chip.core_noc,
+                                parseNocType(value.name));
+        arch->chip.core_noc_cost.clear();
+        return Status::ok();
+      }
+      case ArchParam::kCoreNocBandwidth:
+        arch->chip.core_noc_bandwidth = value.number;
+        // An explicit cost matrix fully overrides the bandwidth in the
+        // NoC model; keeping it would make this a silent no-op axis.
+        arch->chip.core_noc_cost.clear();
+        return Status::ok();
+      case ArchParam::kL0Bandwidth:
+        arch->chip.l0_bandwidth = value.number;
+        return Status::ok();
+      case ArchParam::kL1Bandwidth:
+        arch->core.l1_bandwidth = value.number;
+        return Status::ok();
+      case ArchParam::kComputeMode: {
+        CIMMLC_ASSIGN_OR_RETURN(arch->mode, parseComputeMode(value.name));
+        return Status::ok();
+      }
+    }
+    return internalError("applyArchParam: unhandled parameter");
 }
 
 } // namespace cimmlc

@@ -3,11 +3,19 @@
  * kvjson serialization of CimArchitecture, so users can describe new CIM
  * chips in text files (see the examples/configs directory) without recompiling —
  * the paper's "same description interface ... to various CIM designs".
+ *
+ * Also home of the Abs-arch sweep-space description the architecture DSE
+ * explorer (dse/arch_explorer.h) searches: which parameters to vary and
+ * over which values, parsed from kvjson (explicit lists + log2 ranges),
+ * plus the mutation helpers that apply one parameter value to a base
+ * architecture.
  */
 #ifndef CIMMLC_ARCH_SERIALIZE_H
 #define CIMMLC_ARCH_SERIALIZE_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arch/arch.h"
 #include "common/config.h"
@@ -26,6 +34,89 @@ StatusOr<CimArchitecture> archFromFile(const std::string &path);
 
 /** Serializes an architecture back into a config document. */
 ConfigValue archToConfig(const CimArchitecture &arch);
+
+// ----- Abs-arch sweep space (architecture DSE) -----------------------------
+
+/** Abs-arch parameters the DSE explorer can sweep. */
+enum class ArchParam {
+    kXbSize,           //!< crossbar [rows, cols]
+    kXbGrid,           //!< per-core crossbar grid [rows, cols]
+    kCoreGrid,         //!< chip core grid [rows, cols]
+    kCoreNoc,          //!< chip-tier NoC topology
+    kCoreNocBandwidth, //!< chip-tier NoC bits/cycle (0 = ideal)
+    kL0Bandwidth,      //!< global buffer bits/cycle (0 = ideal)
+    kL1Bandwidth,      //!< core buffer bits/cycle (0 = ideal)
+    kComputeMode,      //!< programming interface (CM | XBM | WLM)
+};
+
+/** Spec key of a sweepable parameter ("xb_size", "core_grid", ...). */
+const char *archParamName(ArchParam param);
+
+/** Parses a spec key back into the enum. */
+StatusOr<ArchParam> parseArchParam(const std::string &text);
+
+/**
+ * One value of a swept parameter. The arm that is meaningful depends on
+ * the parameter: grid params use rows/cols, bandwidth params use number,
+ * NoC/mode params use name (canonicalized at parse time).
+ */
+struct ArchParamValue {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    double number = 0.0;
+    std::string name;
+};
+
+/** Renders a value the way the DSE report prints it ("128x128", "256",
+ * "mesh"). */
+std::string archParamValueToString(ArchParam param,
+                                   const ArchParamValue &value);
+
+/** One swept parameter and its candidate values, in spec order. */
+struct ArchAxis {
+    ArchParam param = ArchParam::kXbSize;
+    std::vector<ArchParamValue> values;
+};
+
+/** The sweep space: axes in canonical ArchParam order (independent of
+ * the kvjson key order), each with at least one value. */
+struct ArchSweepSpec {
+    std::vector<ArchAxis> axes;
+
+    /** Cartesian-product size (1 for an empty spec). */
+    std::size_t candidateCount() const;
+};
+
+/**
+ * Parses a sweep-space object. Each member maps a parameter name to its
+ * axis values:
+ *   - an array of values: numbers for bandwidth axes, strings for
+ *     NoC/mode axes, [rows, cols] pairs (or a scalar N meaning NxN) for
+ *     grid axes;
+ *   - {"log2": [lo, hi]}: lo, 2*lo, 4*lo, ... <= hi. Grid axes expand
+ *     to square NxN grids; NoC/mode axes reject ranges.
+ *
+ * @code
+ *   {
+ *     "xb_size": [[256, 64], 128],
+ *     "core_grid": {"log2": [1, 4]},
+ *     "core_noc": ["mesh", "htree"]
+ *   }
+ * @endcode
+ */
+StatusOr<ArchSweepSpec> sweepSpecFromConfig(const ConfigValue &doc);
+
+/**
+ * Applies one parameter value to @p arch. Keeps the candidate
+ * self-consistent where the abstraction couples parameters: shrinking
+ * the crossbar clamps parallel_row, and resizing a grid (or switching
+ * topology) drops the explicit NoC cost matrix it was sized for.
+ * Geometry that is infeasible for the workload is left to
+ * CimArchitecture::validate() / scheduling, so the DSE can report it
+ * per candidate instead of failing the whole sweep.
+ */
+Status applyArchParam(CimArchitecture *arch, ArchParam param,
+                      const ArchParamValue &value);
 
 } // namespace cimmlc
 

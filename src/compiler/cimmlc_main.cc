@@ -13,6 +13,7 @@
  *   cimmlc --model resnet18 --arch isaac-baseline [options]
  *   cimmlc --model-file net.json --arch-file chip.json [options]
  *   cimmlc --batch sweep.json [--threads N] [--serial]
+ *   cimmlc --arch-dse spec.json [--objective NAME] [--report json]
  *
  * Options:
  *   --model NAME        built-in model (see --list-models)
@@ -22,16 +23,20 @@
  *   --opt LEVEL         none | cg | cg+mvm | full      (default full)
  *   --autotune          search the schedule-option space and compile
  *                       with the best configuration found
- *   --objective NAME    tuning objective: latency | energy | edp
+ *   --objective NAME    tuning/ranking objective: latency | energy | edp
  *   --autotune-verbose  print the per-candidate DSE report table
  *   --print-flow [N]    print the meta-operator flow (first N stmts)
  *   --print-schedule    print the per-operator mapping report
  *   --verify            unroll, execute, and check against the oracle
  *   --report FORMAT     text (default) | json — json serializes the
- *                       full CompileArtifacts record as kvjson
+ *                       full CompileArtifacts / DSE record as kvjson
  *   --batch PATH        compile a models x archs sweep concurrently
- *   --threads N         worker threads for --batch / --autotune
- *                       (0 = hardware concurrency)
+ *   --arch-dse PATH     sweep Abs-arch parameters for one workload and
+ *                       report the latency/energy Pareto front
+ *   --tune-cache PATH   persist evaluated candidates across invocations
+ *                       (kvjson memo; --autotune and --arch-dse)
+ *   --threads N         worker threads for --batch / --autotune /
+ *                       --arch-dse (0 = hardware concurrency)
  *   --serial            force the serial path (reference/debug)
  *   --check-kvjson PATH parse a kvjson file and exit 0/1 (CI helper)
  *   --list-models / --list-archs
@@ -47,6 +52,7 @@
 #include "common/config.h"
 #include "compiler/batch.h"
 #include "compiler/session.h"
+#include "dse/arch_explorer.h"
 #include "graph/models.h"
 #include "sched/autotune.h"
 
@@ -63,11 +69,14 @@ struct CliArgs {
     std::string opt = "full";
     bool opt_explicit = false;
     std::string batch_file;
+    std::string arch_dse_file;
+    std::string tune_cache_file;
     std::string check_kvjson;
     std::string report = "text";
     int threads = -1; //!< -1 = use the sweep file's setting
     bool serial = false;
     bool autotune = false;
+    bool autotune_explicit = false; //!< --autotune[-verbose] was spelled out
     bool autotune_verbose = false;
     std::string objective = "latency";
     bool objective_explicit = false;
@@ -92,9 +101,12 @@ printUsage(std::FILE *out, const char *argv0)
         "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
         "[--objective NAME]\n"
         "          [--threads N] [--serial]\n"
+        "       %s --arch-dse SPEC.json [--objective NAME] "
+        "[--tune-cache PATH]\n"
+        "          [--threads N] [--serial] [--report text|json]\n"
         "          [--check-kvjson PATH]\n"
         "          [--list-models] [--list-archs] [--help]\n",
-        argv0, argv0);
+        argv0, argv0, argv0);
 }
 
 int
@@ -206,6 +218,79 @@ runCheckKvjson(const std::string &path)
     return 0;
 }
 
+/**
+ * Warms @p cache from --tune-cache. A missing/corrupt/stale file is a
+ * diagnostic, not an error: the run proceeds with a cold cache.
+ */
+void
+loadTuneCache(const std::string &path, TuneCache &cache)
+{
+    const Status loaded = cache.loadFromFile(path);
+    if (!loaded.isOk()) {
+        std::fprintf(stderr,
+                     "note: %s — starting with a cold tune cache\n",
+                     loaded.toString().c_str());
+    }
+}
+
+void
+saveTuneCache(const std::string &path, const TuneCache &cache)
+{
+    const Status saved = cache.saveToFile(path);
+    if (!saved.isOk()) {
+        std::fprintf(stderr, "warning: could not save tune cache: %s\n",
+                     saved.toString().c_str());
+    }
+}
+
+int
+runDse(const CliArgs &args)
+{
+    auto spec = dseSpecFromFile(args.arch_dse_file);
+    if (!spec.isOk()) {
+        std::fprintf(stderr, "DSE spec load failed: %s\n",
+                     spec.status().toString().c_str());
+        return 1;
+    }
+    if (args.objective_explicit) {
+        auto objective = parseTuneObjective(args.objective);
+        if (!objective.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         objective.status().toString().c_str());
+            return 1;
+        }
+        spec.value().objective = objective.value();
+    }
+    if (args.threads >= 0)
+        spec.value().threads = args.threads;
+    if (args.serial)
+        spec.value().threads = 1;
+
+    // One memo for the whole sweep; --tune-cache persists it so a
+    // repeated invocation reuses every evaluation.
+    TuneCache cache;
+    if (!args.tune_cache_file.empty())
+        loadTuneCache(args.tune_cache_file, cache);
+
+    const ArchExplorer explorer(std::move(spec).value());
+    auto result = explorer.explore(&cache);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "%s\n", result.status().toString().c_str());
+        return 1;
+    }
+    if (!args.tune_cache_file.empty())
+        saveTuneCache(args.tune_cache_file, cache);
+
+    if (args.report == "json") {
+        std::printf("%s\n",
+                    result.value().toConfig().dump(true).c_str());
+    } else {
+        std::printf("%s\n", result.value().summary().c_str());
+        std::fputs(result.value().table().c_str(), stdout);
+    }
+    return 0;
+}
+
 int
 runSingle(const CliArgs &args)
 {
@@ -222,6 +307,7 @@ runSingle(const CliArgs &args)
         request.arch = args.arch;
     request.opt = args.opt;
 
+    TuneCache tune_cache;
     if (args.autotune) {
         if (args.opt_explicit) {
             std::fprintf(stderr,
@@ -237,6 +323,9 @@ runSingle(const CliArgs &args)
         request.tune = true;
         request.objective = objective.value();
         request.threads = args.serial ? 1 : std::max(args.threads, 0);
+        request.tune_cache = &tune_cache;
+        if (!args.tune_cache_file.empty())
+            loadTuneCache(args.tune_cache_file, tune_cache);
     }
 
     request.outputs.schedule_report = args.print_schedule;
@@ -268,6 +357,8 @@ runSingle(const CliArgs &args)
     }
 
     auto result = session.run();
+    if (args.autotune && !args.tune_cache_file.empty())
+        saveTuneCache(args.tune_cache_file, tune_cache);
     if (!result.isOk()) {
         std::fprintf(stderr, "%s\n",
                      result.status().toString().c_str());
@@ -365,6 +456,16 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             args.batch_file = v;
+        } else if (flag == "--arch-dse") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.arch_dse_file = v;
+        } else if (flag == "--tune-cache") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.tune_cache_file = v;
         } else if (flag == "--check-kvjson") {
             const char *v = next();
             if (!v)
@@ -394,8 +495,10 @@ main(int argc, char **argv)
             args.serial = true;
         } else if (flag == "--autotune") {
             args.autotune = true;
+            args.autotune_explicit = true;
         } else if (flag == "--autotune-verbose") {
             args.autotune = true;
+            args.autotune_explicit = true;
             args.autotune_verbose = true;
         } else if (flag == "--objective") {
             const char *v = next();
@@ -424,11 +527,45 @@ main(int argc, char **argv)
     }
     if (!args.check_kvjson.empty())
         return runCheckKvjson(args.check_kvjson);
-    if (!args.batch_file.empty())
+    // Mode-conflict checks run before dispatch, so misused flags are
+    // hard errors instead of being silently dropped by the mode that
+    // does not read them.
+    const bool batch_mode = !args.batch_file.empty();
+    const bool dse_mode = !args.arch_dse_file.empty();
+    if (batch_mode && dse_mode) {
+        std::fprintf(stderr,
+                     "--batch and --arch-dse are exclusive modes\n");
+        return usage(argv[0]);
+    }
+    if (batch_mode && args.report != "text") {
+        std::fprintf(stderr,
+                     "--report json is not supported with --batch\n");
+        return usage(argv[0]);
+    }
+    if (!args.tune_cache_file.empty() && !dse_mode
+        && (batch_mode || !args.autotune)) {
+        std::fprintf(stderr, "--tune-cache only applies to --autotune "
+                             "and --arch-dse modes\n");
+        return usage(argv[0]);
+    }
+    if (dse_mode
+        && (!args.model.empty() || !args.model_file.empty()
+            || args.arch_explicit || !args.arch_file.empty()
+            || args.opt_explicit || args.autotune_explicit
+            || args.print_flow || args.print_schedule || args.verify)) {
+        std::fprintf(stderr,
+                     "--arch-dse reads the workload, base arch, opt "
+                     "level, and tuning from the spec file; drop the "
+                     "conflicting flags\n");
+        return usage(argv[0]);
+    }
+    if (batch_mode)
         return runBatch(args);
+    if (dse_mode)
+        return runDse(args);
     if ((args.threads >= 0 || args.serial) && !args.autotune) {
-        std::fprintf(stderr, "--threads/--serial only apply to --batch "
-                             "and --autotune modes\n");
+        std::fprintf(stderr, "--threads/--serial only apply to --batch, "
+                             "--arch-dse, and --autotune modes\n");
         return usage(argv[0]);
     }
     if (args.model.empty() && args.model_file.empty())

@@ -1,0 +1,539 @@
+#include "dse/arch_explorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "arch/presets.h"
+#include "common/strutil.h"
+#include "common/table.h"
+#include "common/threadpool.h"
+#include "compiler/session.h"
+#include "graph/models.h"
+#include "graph/serialize.h"
+
+namespace cimmlc {
+
+namespace {
+
+ConfigValue
+number(double v)
+{
+    return ConfigValue::makeNumber(v);
+}
+
+ConfigValue
+number(std::int64_t v)
+{
+    return ConfigValue::makeNumber(static_cast<double>(v));
+}
+
+ConfigValue
+text(std::string v)
+{
+    return ConfigValue::makeString(std::move(v));
+}
+
+/** (latency, energy) Pareto dominance: <= in both, < in at least one. */
+bool
+dominates(const DseCandidate &a, const DseCandidate &b)
+{
+    return a.latency_cycles <= b.latency_cycles
+           && a.energy_pj <= b.energy_pj
+           && (a.latency_cycles < b.latency_cycles
+               || a.energy_pj < b.energy_pj);
+}
+
+/**
+ * Prices one candidate. @p key is its evaluation fingerprint from
+ * explore()'s dedup pass — the memo key for fixed-options runs.
+ */
+void
+evaluateCandidate(const Graph &graph, const DseSpec &spec,
+                  DseCandidate &candidate, const std::string &key,
+                  TuneCache *cache,
+                  std::atomic<std::int64_t> &cache_hits)
+{
+    // Fixed-options candidates reuse the tuner's fingerprint scheme for
+    // cross-process memoization; spec options always come from a named
+    // --opt level, which the encoding represents exactly. Duplicate
+    // sweep points were deduplicated by explore(), so this lookup only
+    // ever sees the pre-run cache state and the hit count cannot depend
+    // on evaluation timing.
+    if (!spec.tune && cache != nullptr) {
+        if (auto hit = cache->lookup(key)) {
+            candidate.status = hit->status;
+            candidate.latency_cycles = hit->latency_cycles;
+            candidate.energy_pj = hit->energy_pj;
+            candidate.edp = hit->edp;
+            candidate.config = spec.options.toString();
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+
+    auto fill = [&]() -> Status {
+        CompileRequest request;
+        request.graph = &graph;
+        request.arch_ref = &candidate.arch;
+        if (spec.tune) {
+            // Candidate-level parallelism already fills the pool; tune
+            // serially inside the candidate so nested pools do not
+            // oversubscribe (same discipline as BatchCompiler).
+            request.tune = true;
+            request.objective = spec.objective;
+            request.tune_cache = cache;
+            request.threads = 1;
+        } else {
+            request.options = spec.options;
+        }
+        request.outputs.flow = false;
+        request.stop_after = CompileStage::kPerf;
+        CompilerSession session(std::move(request));
+        CIMMLC_ASSIGN_OR_RETURN(const CompileArtifacts artifacts,
+                                session.run());
+        candidate.latency_cycles = artifacts.perf->latency_cycles;
+        candidate.energy_pj = artifacts.perf->energy.total();
+        candidate.edp = candidate.latency_cycles * candidate.energy_pj;
+        candidate.tuned = artifacts.tuned;
+        candidate.config = artifacts.options.toString();
+        if (artifacts.tune.has_value())
+            cache_hits.fetch_add(artifacts.tune->cache_hits,
+                                 std::memory_order_relaxed);
+        return Status::ok();
+    };
+    candidate.status = fill();
+    if (!candidate.status.isOk())
+        candidate.config = spec.options.toString();
+
+    if (!spec.tune && cache != nullptr) {
+        cache->insert(key,
+                      TuneCache::Entry{candidate.status,
+                                       candidate.latency_cycles,
+                                       candidate.energy_pj,
+                                       candidate.edp});
+    }
+}
+
+} // namespace
+
+// ----- spec parsing ---------------------------------------------------------
+
+StatusOr<DseSpec>
+dseSpecFromConfig(const ConfigValue &doc)
+{
+    if (!doc.isObject())
+        return parseError("DSE spec must be a kvjson object");
+
+    DseSpec spec;
+    spec.model = doc.getStringOr("model", "");
+    spec.model_file = doc.getStringOr("model_file", "");
+    spec.model_text = doc.getStringOr("model_text", "");
+    int workload_sources = (spec.model.empty() ? 0 : 1)
+                           + (spec.model_file.empty() ? 0 : 1)
+                           + (spec.model_text.empty() ? 0 : 1);
+    if (workload_sources == 0)
+        return parseError("DSE spec needs a workload (set one of "
+                          "model, model_file, model_text)");
+    if (workload_sources > 1)
+        return parseError("DSE spec has conflicting workload sources; "
+                          "set exactly one of model, model_file, "
+                          "model_text");
+
+    const std::string arch = doc.getStringOr("arch", "");
+    const std::string arch_file = doc.getStringOr("arch_file", "");
+    const std::string arch_text = doc.getStringOr("arch_text", "");
+    int arch_sources = (arch.empty() ? 0 : 1) + (arch_file.empty() ? 0 : 1)
+                       + (arch_text.empty() ? 0 : 1);
+    if (arch_sources > 1)
+        return parseError("DSE spec has conflicting architecture "
+                          "sources; set at most one of arch, arch_file, "
+                          "arch_text");
+    if (!arch_file.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(spec.base_arch, archFromFile(arch_file));
+    } else if (!arch_text.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(spec.base_arch, archFromText(arch_text));
+    } else {
+        CIMMLC_ASSIGN_OR_RETURN(
+            spec.base_arch,
+            presets::byName(arch.empty() ? "isaac-baseline" : arch));
+    }
+
+    spec.opt = doc.getStringOr("opt", "full");
+    CIMMLC_ASSIGN_OR_RETURN(spec.options, scheduleOptionsByName(spec.opt));
+    spec.tune = doc.getBoolOr("tune", false);
+    CIMMLC_ASSIGN_OR_RETURN(
+        spec.objective,
+        parseTuneObjective(doc.getStringOr("objective", "latency")));
+    spec.threads = static_cast<int>(doc.getIntOr("threads", 0));
+    if (spec.threads < 0)
+        return parseError("DSE spec 'threads' must be >= 0");
+
+    if (!doc.has("sweep"))
+        return parseError("DSE spec needs a 'sweep' object (the "
+                          "Abs-arch parameters to search)");
+    CIMMLC_ASSIGN_OR_RETURN(spec.sweep,
+                            sweepSpecFromConfig(doc.get("sweep").value()));
+    if (spec.sweep.axes.empty())
+        return parseError("DSE spec 'sweep' must vary at least one "
+                          "parameter");
+    return spec;
+}
+
+StatusOr<DseSpec>
+dseSpecFromText(const std::string &text)
+{
+    CIMMLC_ASSIGN_OR_RETURN(const ConfigValue doc, parseConfig(text));
+    return dseSpecFromConfig(doc);
+}
+
+StatusOr<DseSpec>
+dseSpecFromFile(const std::string &path)
+{
+    CIMMLC_ASSIGN_OR_RETURN(const ConfigValue doc, loadConfigFile(path));
+    auto result = dseSpecFromConfig(doc);
+    if (!result.isOk())
+        return result.status().withContext(path);
+    return result;
+}
+
+// ----- candidates and the front --------------------------------------------
+
+double
+DseCandidate::objectiveValue(TuneObjective objective) const
+{
+    switch (objective) {
+      case TuneObjective::kLatency: return latency_cycles;
+      case TuneObjective::kEnergy: return energy_pj;
+      case TuneObjective::kEdp: return edp;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+std::vector<std::size_t>
+paretoFrontIndices(const std::vector<DseCandidate> &candidates)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!candidates[i].status.isOk())
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < candidates.size(); ++j) {
+            if (j == i || !candidates[j].status.isOk())
+                continue;
+            if (dominates(candidates[j], candidates[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(),
+              [&candidates](std::size_t a, std::size_t b) {
+                  const DseCandidate &ca = candidates[a];
+                  const DseCandidate &cb = candidates[b];
+                  if (ca.latency_cycles != cb.latency_cycles)
+                      return ca.latency_cycles < cb.latency_cycles;
+                  if (ca.energy_pj != cb.energy_pj)
+                      return ca.energy_pj < cb.energy_pj;
+                  return ca.index < cb.index;
+              });
+    return front;
+}
+
+std::vector<DseCandidate>
+ArchExplorer::enumerate() const
+{
+    const std::vector<ArchAxis> &axes = spec_.sweep.axes;
+    const std::size_t total = spec_.sweep.candidateCount();
+    std::vector<DseCandidate> candidates;
+    candidates.reserve(total);
+    // Row-major enumeration: the first axis varies slowest, so the
+    // candidate index is a stable mixed-radix encoding of its choices.
+    std::vector<std::size_t> choice(axes.size(), 0);
+    for (std::size_t index = 0; index < total; ++index) {
+        DseCandidate candidate;
+        candidate.index = index;
+        candidate.arch = spec_.base_arch;
+        std::vector<std::string> parts;
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            const ArchParamValue &value = axes[a].values[choice[a]];
+            const std::string rendered =
+                archParamValueToString(axes[a].param, value);
+            candidate.params.emplace_back(archParamName(axes[a].param),
+                                          rendered);
+            parts.push_back(std::string(archParamName(axes[a].param))
+                            + "=" + rendered);
+            if (candidate.status.isOk()) {
+                candidate.status = applyArchParam(&candidate.arch,
+                                                  axes[a].param, value);
+            }
+        }
+        candidate.label = join(parts, " ");
+        if (candidate.status.isOk())
+            candidate.status = candidate.arch.validate();
+        candidates.push_back(std::move(candidate));
+        // Advance the mixed-radix counter, last axis fastest.
+        for (std::size_t a = axes.size(); a-- > 0;) {
+            if (++choice[a] < axes[a].values.size())
+                break;
+            choice[a] = 0;
+        }
+    }
+    return candidates;
+}
+
+StatusOr<DseResult>
+ArchExplorer::explore(TuneCache *cache) const
+{
+    std::optional<Graph> loaded;
+    if (!spec_.model.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(loaded,
+                                models::byNameChecked(spec_.model));
+    } else if (!spec_.model_file.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(loaded, graphFromFile(spec_.model_file));
+    } else {
+        CIMMLC_ASSIGN_OR_RETURN(loaded, graphFromText(spec_.model_text));
+    }
+    const Graph &graph = *loaded;
+
+    DseResult result;
+    result.objective = spec_.objective;
+    result.workload = graph.name();
+    result.nodes = static_cast<std::int64_t>(graph.nodeCount());
+    result.weights = graph.totalWeights();
+    result.base_arch = spec_.base_arch.name;
+    result.tuned = spec_.tune;
+    result.candidates = enumerate();
+
+    // Deduplicate sweep points that denote the same evaluation (e.g. a
+    // scalar grid shorthand next to its [N, N] spelling): only the
+    // first occurrence is evaluated, later ones copy its result and
+    // count as memo hits. Without this, concurrent duplicates could
+    // race past each other's cache insert and the report's hit count
+    // would depend on thread timing.
+    std::map<std::string, std::size_t> first_of_key;
+    std::vector<std::size_t> unique;
+    std::vector<std::string> keys(result.candidates.size());
+    std::vector<std::size_t> copy_from(result.candidates.size(),
+                                       result.candidates.size());
+    for (DseCandidate &candidate : result.candidates) {
+        if (!candidate.status.isOk())
+            continue;
+        // The arch identity alone for tuned runs (the tuner covers every
+        // encoding); arch + the fixed options otherwise.
+        keys[candidate.index] = TuneCache::fingerprint(
+            graph, candidate.arch,
+            spec_.tune ? 0u : AutoTuner::encodeOptions(spec_.options));
+        auto [it, inserted] =
+            first_of_key.emplace(keys[candidate.index], candidate.index);
+        if (inserted)
+            unique.push_back(candidate.index);
+        else
+            copy_from[candidate.index] = it->second;
+    }
+
+    std::atomic<std::int64_t> cache_hits{0};
+    if (spec_.threads == 1) {
+        // Serial reference path: the determinism tests compare against it.
+        for (std::size_t index : unique)
+            evaluateCandidate(graph, spec_, result.candidates[index],
+                              keys[index], cache, cache_hits);
+    } else {
+        ThreadPool pool(spec_.threads);
+        for (std::size_t index : unique) {
+            DseCandidate &candidate = result.candidates[index];
+            pool.submit([this, &graph, &candidate, &keys, index, cache,
+                         &cache_hits] {
+                evaluateCandidate(graph, spec_, candidate, keys[index],
+                                  cache, cache_hits);
+            });
+        }
+        pool.wait();
+    }
+    for (DseCandidate &candidate : result.candidates) {
+        if (copy_from[candidate.index] >= result.candidates.size())
+            continue;
+        const DseCandidate &source =
+            result.candidates[copy_from[candidate.index]];
+        candidate.status = source.status;
+        candidate.latency_cycles = source.latency_cycles;
+        candidate.energy_pj = source.energy_pj;
+        candidate.edp = source.edp;
+        candidate.tuned = source.tuned;
+        candidate.config = source.config;
+        cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    result.cache_hits = cache_hits.load();
+    result.cache_entries =
+        cache != nullptr ? static_cast<std::int64_t>(cache->size()) : 0;
+
+    result.front = paretoFrontIndices(result.candidates);
+    for (std::size_t index : result.front)
+        result.candidates[index].on_front = true;
+    if (result.front.empty()) {
+        Status first = internalError("empty sweep");
+        for (const DseCandidate &candidate : result.candidates) {
+            if (!candidate.status.isOk()) {
+                first = candidate.status;
+                break;
+            }
+        }
+        return first.withContext("arch-dse: no feasible candidate for '"
+                                 + graph.name() + "' over base '"
+                                 + spec_.base_arch.name + "'");
+    }
+    return result;
+}
+
+// ----- reporting ------------------------------------------------------------
+
+std::int64_t
+DseResult::feasibleCount() const
+{
+    std::int64_t ok = 0;
+    for (const DseCandidate &candidate : candidates)
+        if (candidate.status.isOk())
+            ++ok;
+    return ok;
+}
+
+std::string
+DseResult::table() const
+{
+    // Ranked view: feasible candidates by ascending objective (ties:
+    // EDP, then index — the tuner's tie-break discipline), infeasible
+    // ones last by index. Sorting keys only, never timing, keeps the
+    // render thread-count independent.
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    const TuneObjective objective = this->objective;
+    std::sort(order.begin(), order.end(),
+              [this, objective](std::size_t a, std::size_t b) {
+                  const DseCandidate &ca = candidates[a];
+                  const DseCandidate &cb = candidates[b];
+                  if (ca.status.isOk() != cb.status.isOk())
+                      return ca.status.isOk();
+                  if (!ca.status.isOk())
+                      return ca.index < cb.index;
+                  const double va = ca.objectiveValue(objective);
+                  const double vb = cb.objectiveValue(objective);
+                  if (va != vb)
+                      return va < vb;
+                  if (ca.edp != cb.edp)
+                      return ca.edp < cb.edp;
+                  return ca.index < cb.index;
+              });
+
+    TextTable table({"#", "architecture", "latency (cyc)", "energy (pJ)",
+                     "EDP", "config", "note"});
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        const DseCandidate &candidate = candidates[order[rank]];
+        if (candidate.status.isOk()) {
+            std::string note;
+            if (candidate.on_front)
+                note = rank == 0 ? "front <- best" : "front";
+            table.addRow({strformat("%zu", candidate.index),
+                          candidate.label,
+                          strformat("%.6g", candidate.latency_cycles),
+                          strformat("%.6g", candidate.energy_pj),
+                          strformat("%.6g", candidate.edp),
+                          (candidate.tuned ? "tuned: " : "")
+                              + candidate.config,
+                          note});
+        } else {
+            table.addRow({strformat("%zu", candidate.index),
+                          candidate.label, "-", "-", "-", "-",
+                          candidate.status.toString()});
+        }
+    }
+    return table.render();
+}
+
+const DseCandidate &
+DseResult::bestByObjective() const
+{
+    std::size_t best = front.front();
+    for (std::size_t index : front) {
+        const DseCandidate &challenger = candidates[index];
+        const DseCandidate &incumbent = candidates[best];
+        const double vc = challenger.objectiveValue(objective);
+        const double vi = incumbent.objectiveValue(objective);
+        if (vc < vi
+            || (vc == vi
+                && (challenger.edp < incumbent.edp
+                    || (challenger.edp == incumbent.edp
+                        && challenger.index < incumbent.index))))
+            best = index;
+    }
+    return candidates[best];
+}
+
+std::string
+DseResult::summary() const
+{
+    const DseCandidate &best = bestByObjective();
+    return strformat(
+        "arch-dse[%s]: %zu candidates (%lld feasible), Pareto front %zu "
+        "points, best %s=%.6g at [%s], cache hits %lld",
+        tuneObjectiveName(objective), candidates.size(),
+        static_cast<long long>(feasibleCount()), front.size(),
+        tuneObjectiveName(objective), best.objectiveValue(objective),
+        best.label.c_str(), static_cast<long long>(cache_hits));
+}
+
+ConfigValue
+DseResult::toConfig() const
+{
+    ConfigValue::Object doc;
+    doc["schema"] = text("cimmlc.dse.v1");
+
+    ConfigValue::Object workload_obj;
+    workload_obj["name"] = text(workload);
+    workload_obj["nodes"] = number(nodes);
+    workload_obj["weights"] = number(weights);
+    doc["workload"] = ConfigValue::makeObject(std::move(workload_obj));
+
+    doc["base_arch"] = text(base_arch);
+    doc["objective"] = text(tuneObjectiveName(objective));
+    doc["tune"] = ConfigValue::makeBool(tuned);
+
+    ConfigValue::Array rows;
+    for (const DseCandidate &candidate : candidates) {
+        ConfigValue::Object row;
+        row["index"] =
+            number(static_cast<std::int64_t>(candidate.index));
+        ConfigValue::Object params;
+        for (const auto &[param, value] : candidate.params)
+            params[param] = text(value);
+        row["params"] = ConfigValue::makeObject(std::move(params));
+        row["status"] = text(candidate.status.toString());
+        if (candidate.status.isOk()) {
+            row["latency_cycles"] = number(candidate.latency_cycles);
+            row["energy_pj"] = number(candidate.energy_pj);
+            row["edp"] = number(candidate.edp);
+            row["config"] = text(candidate.config);
+            row["tuned"] = ConfigValue::makeBool(candidate.tuned);
+        }
+        row["on_front"] = ConfigValue::makeBool(candidate.on_front);
+        rows.push_back(ConfigValue::makeObject(std::move(row)));
+    }
+    doc["evaluated"] = ConfigValue::makeArray(std::move(rows));
+
+    ConfigValue::Array front_rows;
+    for (std::size_t index : front)
+        front_rows.push_back(number(static_cast<std::int64_t>(index)));
+    doc["front"] = ConfigValue::makeArray(std::move(front_rows));
+
+    ConfigValue::Object cache_obj;
+    cache_obj["hits"] = number(cache_hits);
+    cache_obj["entries"] = number(cache_entries);
+    doc["cache"] = ConfigValue::makeObject(std::move(cache_obj));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+} // namespace cimmlc

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Architecture design-space exploration: the AutoTuner inverted.
+ *
+ * The auto-tuner (sched/autotune.h) searches schedule options for a
+ * fixed Abs-arch; the ArchExplorer fixes the workload and sweeps the
+ * Abs-arch parameters themselves — crossbar geometry, crossbar/core
+ * grids, NoC topology and bandwidth, buffer bandwidths, computing
+ * mode — the knobs the paper's Figures 5-8 abstraction exposes exactly
+ * so one workload can be retargeted across CM/XBM/WLM chips.
+ *
+ * Candidates are enumerated deterministically from a kvjson sweep spec
+ * (arch/serialize.h), each is priced through a staged CompilerSession
+ * (optionally with per-candidate schedule auto-tuning sharing one
+ * TuneCache), evaluation fans out over the work-stealing ThreadPool
+ * with pre-assigned result slots, and the latency/energy Pareto front
+ * is computed with deterministic dominance filtering — the report is
+ * byte-identical for any thread count, the same discipline the
+ * AutoTuner and BatchCompiler follow.
+ */
+#ifndef CIMMLC_DSE_ARCH_EXPLORER_H
+#define CIMMLC_DSE_ARCH_EXPLORER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/arch.h"
+#include "arch/serialize.h"
+#include "common/config.h"
+#include "common/status.h"
+#include "sched/autotune.h"
+#include "sched/options.h"
+
+namespace cimmlc {
+
+/**
+ * A parsed `--arch-dse` spec: one workload, a base architecture, and
+ * the sweep axes mutated on top of it.
+ *
+ * @code
+ *   {
+ *     "model": "lenet5",            # or model_file / model_text
+ *     "arch": "jain",               # or arch_file / arch_text
+ *     "opt": "full",                # fixed options when not tuning
+ *     "tune": false,                # auto-tune each candidate's schedule
+ *     "objective": "latency",       # ranking (and tuning) objective
+ *     "threads": 0,
+ *     "sweep": { ... }              # see sweepSpecFromConfig
+ *   }
+ * @endcode
+ */
+struct DseSpec {
+    // Workload (exactly one source).
+    std::string model;      //!< models::byName preset key
+    std::string model_file; //!< kvjson graph file path
+    std::string model_text; //!< inline kvjson graph
+
+    CimArchitecture base_arch;   //!< resolved base design
+    ArchSweepSpec sweep;         //!< axes mutated on top of it
+
+    ScheduleOptions options;     //!< fixed schedule when tune == false
+    std::string opt = "full";    //!< the level name options came from
+    bool tune = false;           //!< auto-tune each candidate
+    TuneObjective objective = TuneObjective::kLatency;
+    int threads = 0; //!< 0 = hardware concurrency, 1 = serial
+};
+
+/** Parses a DSE spec document / text / file. */
+StatusOr<DseSpec> dseSpecFromConfig(const ConfigValue &doc);
+StatusOr<DseSpec> dseSpecFromText(const std::string &text);
+StatusOr<DseSpec> dseSpecFromFile(const std::string &path);
+
+/** One evaluated point of the architecture design space. */
+struct DseCandidate {
+    //! stable identity: position in the row-major sweep enumeration;
+    //! doubles as the deterministic tie-break key
+    std::size_t index = 0;
+    CimArchitecture arch;
+    //! swept (param name, value) pairs, in canonical axis order
+    std::vector<std::pair<std::string, std::string>> params;
+    std::string label; //!< "xb_size=128x128 core_grid=2x2"
+
+    Status status; //!< evaluation outcome; metrics valid iff OK
+    double latency_cycles = 0.0;
+    double energy_pj = 0.0;
+    double edp = 0.0;
+    bool tuned = false;
+    std::string config; //!< ScheduleOptions the candidate compiled with
+    bool on_front = false;
+
+    double objectiveValue(TuneObjective objective) const;
+};
+
+/**
+ * Indices of the non-dominated feasible candidates under (latency,
+ * energy) minimization, sorted by ascending latency, then energy, then
+ * index. Dominance is the strict Pareto order: a dominates b iff a is
+ * <= in both objectives and < in at least one, so duplicate points are
+ * both kept. Membership depends only on the metric values, never on
+ * evaluation order or timing.
+ */
+std::vector<std::size_t>
+paretoFrontIndices(const std::vector<DseCandidate> &candidates);
+
+/** Outcome of one exploration. */
+struct DseResult {
+    TuneObjective objective = TuneObjective::kLatency;
+    std::string workload;
+    std::int64_t nodes = 0;
+    std::int64_t weights = 0;
+    std::string base_arch;
+    bool tuned = false;
+    //! candidates in ascending index order (thread-count independent)
+    std::vector<DseCandidate> candidates;
+    //! Pareto front, sorted by (latency, energy, index)
+    std::vector<std::size_t> front;
+    std::int64_t cache_hits = 0;    //!< memoized evaluations this run
+    std::int64_t cache_entries = 0; //!< cache size after the run
+
+    /** Candidates whose evaluation succeeded. */
+    std::int64_t feasibleCount() const;
+
+    /** Front point minimizing the ranking objective (ties: EDP, then
+     * index). @pre front is non-empty (explore() guarantees it). */
+    const DseCandidate &bestByObjective() const;
+
+    /** Ranked per-candidate table: feasible points by ascending
+     * objective (ties: EDP, then index), front rows marked, infeasible
+     * points last. */
+    std::string table() const;
+
+    /** One-line verdict for CLI output. */
+    std::string summary() const;
+
+    /** Serializes the full evaluated set + front membership as kvjson
+     * (schema "cimmlc.dse.v1"). */
+    ConfigValue toConfig() const;
+};
+
+/**
+ * Architecture design-space explorer.
+ *
+ * @code
+ *   auto spec = dseSpecFromFile("examples/dse_lenet5.json");
+ *   TuneCache cache;
+ *   ArchExplorer explorer(spec.value());
+ *   auto result = explorer.explore(&cache);
+ *   std::cout << result.value().table();
+ * @endcode
+ */
+class ArchExplorer
+{
+  public:
+    explicit ArchExplorer(DseSpec spec) : spec_(std::move(spec)) {}
+
+    const DseSpec &spec() const { return spec_; }
+
+    /**
+     * The candidate architectures, in deterministic row-major sweep
+     * order (first axis slowest). Candidates whose mutated geometry
+     * fails CimArchitecture::validate() carry that status so the sweep
+     * reports them instead of aborting.
+     */
+    std::vector<DseCandidate> enumerate() const;
+
+    /**
+     * Evaluates every candidate and computes the Pareto front. @p cache
+     * memoizes evaluations across candidates and calls — with per-
+     * candidate tuning it is the tuner's shared memo, without it each
+     * candidate's single (graph, arch, options) evaluation is memoized
+     * under the same fingerprint scheme, so a persisted cache warms
+     * both modes. Fails only when the workload cannot be loaded or no
+     * candidate is feasible.
+     */
+    StatusOr<DseResult> explore(TuneCache *cache = nullptr) const;
+
+  private:
+    DseSpec spec_;
+};
+
+} // namespace cimmlc
+
+#endif // CIMMLC_DSE_ARCH_EXPLORER_H

@@ -1,6 +1,7 @@
 #include "sched/autotune.h"
 
 #include <atomic>
+#include <cstring>
 #include <limits>
 
 #include "common/strutil.h"
@@ -252,10 +253,30 @@ TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
 {
     // Identity of the evaluation inputs: graph structure summarized by
     // name + size + work, architecture by every cost-relevant parameter.
+    // A DSE sweep shares one cache across many arch candidates, so any
+    // parameter the cost model reads must appear here — including the
+    // NoC topologies, buffer sizes, and explicit cost matrices the
+    // first version of this key omitted.
+    std::uint64_t noc_cost_hash = 1469598103934665603ull;
+    auto mix_doubles = [&noc_cost_hash](const std::vector<double> &values) {
+        for (double value : values) {
+            std::uint64_t bits = 0;
+            static_assert(sizeof(bits) == sizeof(value));
+            std::memcpy(&bits, &value, sizeof(bits));
+            noc_cost_hash ^= bits;
+            noc_cost_hash *= 1099511628211ull;
+        }
+        // Separator between the two matrices so ({x}, {}) != ({}, {x}).
+        noc_cost_hash ^= 0x9e3779b97f4a7c15ull;
+        noc_cost_hash *= 1099511628211ull;
+    };
+    mix_doubles(arch.chip.core_noc_cost);
+    mix_doubles(arch.core.xb_noc_cost);
     return strformat(
         "%s|n%zu|w%lld|m%lld|h%016llx||%s|%s|c%lldx%lld|x%lldx%lld|"
         "r%lldx%lld|pr%lld|dac%d|adc%d|ct%d|cb%d|wb%d|ab%d|"
-        "bw%.17g/%.17g/%.17g|alu%.17g/%.17g||o%u",
+        "bw%.17g/%.17g/%.17g|alu%.17g/%.17g|noc%d/%d|xbw%.17g|"
+        "l0s%.17g|l1s%.17g|nch%016llx||o%u",
         graph.name().c_str(), graph.nodeCount(),
         static_cast<long long>(graph.totalWeights()),
         static_cast<long long>(graph.totalMacs()),
@@ -274,7 +295,120 @@ TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
         arch.weight_bits, arch.activation_bits,
         arch.chip.core_noc_bandwidth, arch.chip.l0_bandwidth,
         arch.core.l1_bandwidth, arch.chip.alu_ops_per_cycle,
-        arch.core.alu_ops_per_cycle, encoding);
+        arch.core.alu_ops_per_cycle,
+        static_cast<int>(arch.chip.core_noc),
+        static_cast<int>(arch.core.xb_noc), arch.core.xb_noc_bandwidth,
+        arch.chip.l0_size_kib, arch.core.l1_size_kib,
+        static_cast<unsigned long long>(noc_cost_hash), encoding);
+}
+
+ConfigValue
+TuneCache::toConfig() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ConfigValue::Array rows;
+    for (const auto &[key, entry] : entries_) {
+        ConfigValue::Object row;
+        row["key"] = ConfigValue::makeString(key);
+        row["code"] = ConfigValue::makeNumber(
+            static_cast<double>(static_cast<int>(entry.status.code())));
+        if (!entry.status.isOk())
+            row["message"] =
+                ConfigValue::makeString(entry.status.message());
+        row["latency_cycles"] =
+            ConfigValue::makeNumber(entry.latency_cycles);
+        row["energy_pj"] = ConfigValue::makeNumber(entry.energy_pj);
+        row["edp"] = ConfigValue::makeNumber(entry.edp);
+        rows.push_back(ConfigValue::makeObject(std::move(row)));
+    }
+    ConfigValue::Object doc;
+    doc["schema"] = ConfigValue::makeString("cimmlc.tunecache.v1");
+    doc["entries"] = ConfigValue::makeArray(std::move(rows));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+Status
+TuneCache::loadFromConfig(const ConfigValue &doc)
+{
+    // Parse into a scratch map first: a document that fails halfway
+    // must leave the cache cold, not half-populated with stale entries.
+    std::map<std::string, Entry> loaded;
+    auto fail = [this](Status status) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.clear();
+        }
+        return status;
+    };
+    if (!doc.isObject())
+        return fail(parseError("tune cache must be a kvjson object"));
+    const std::string schema = doc.getStringOr("schema", "");
+    if (schema != "cimmlc.tunecache.v1")
+        return fail(parseError("tune cache has schema '" + schema
+                               + "', expected 'cimmlc.tunecache.v1' "
+                                 "(stale file?)"));
+    auto rows = doc.get("entries");
+    if (!rows.isOk() || !rows.value().isArray())
+        return fail(parseError("tune cache 'entries' must be an array"));
+    for (const ConfigValue &row : rows.value().asArray()) {
+        if (!row.isObject() || !row.has("key")
+            || !row.get("key").value().isString())
+            return fail(
+                parseError("tune cache entry is missing its key"));
+        const std::string key = row.get("key").value().asString();
+        const std::int64_t code = row.getIntOr("code", -1);
+        if (code < 0
+            || code > static_cast<std::int64_t>(StatusCode::kParseError))
+            return fail(parseError(strformat(
+                "tune cache entry has unknown status code %lld",
+                static_cast<long long>(code))));
+        Entry entry;
+        if (code != 0) {
+            entry.status = Status(static_cast<StatusCode>(code),
+                                  row.getStringOr("message", ""));
+        }
+        // Presence alone is not enough: a wrong-typed metric would
+        // silently load as 0.0 and poison every warm run with a
+        // zero-latency "best" point.
+        auto metric = [&row](const char *field, double *out) {
+            if (!row.has(field))
+                return false;
+            const ConfigValue value = row.get(field).value();
+            if (!value.isNumber())
+                return false;
+            *out = value.asNumber();
+            return true;
+        };
+        if (!metric("latency_cycles", &entry.latency_cycles)
+            || !metric("energy_pj", &entry.energy_pj)
+            || !metric("edp", &entry.edp))
+            return fail(parseError("tune cache entry for '" + key
+                                   + "' is truncated or mistyped"));
+        loaded[key] = entry;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_ = std::move(loaded);
+    return Status::ok();
+}
+
+Status
+TuneCache::saveToFile(const std::string &path) const
+{
+    return saveConfigFile(path, toConfig());
+}
+
+Status
+TuneCache::loadFromFile(const std::string &path)
+{
+    auto doc = loadConfigFile(path);
+    if (!doc.isOk()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.clear();
+        }
+        return doc.status().withContext("tune cache");
+    }
+    return loadFromConfig(doc.value());
 }
 
 std::uint32_t

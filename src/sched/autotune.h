@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/config.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "sched/options.h"
@@ -102,7 +103,36 @@ class TuneCache
     std::int64_t hits() const;
     std::size_t size() const;
 
-    /** Memo key for one (graph, arch, options) evaluation. */
+    /**
+     * Serializes the memo as a kvjson document (schema
+     * "cimmlc.tunecache.v1"), keyed by the evaluation fingerprints, so
+     * a sweep can persist across processes (`cimmlc --tune-cache`).
+     */
+    ConfigValue toConfig() const;
+
+    /**
+     * Replaces the memo with @p doc's entries. A malformed document
+     * (wrong schema, truncated entry, bad status code) returns an error
+     * and leaves the cache EMPTY — callers degrade to a cold cache with
+     * a diagnostic instead of aborting the run.
+     */
+    Status loadFromConfig(const ConfigValue &doc);
+
+    /** Writes toConfig() as pretty kvjson to @p path. */
+    Status saveToFile(const std::string &path) const;
+
+    /** loadFromConfig over a kvjson file (same cold-cache-on-error
+     * contract; a missing file is an error too). */
+    Status loadFromFile(const std::string &path);
+
+    /**
+     * Memo key for one (graph, arch, options) evaluation. Covers every
+     * cost-relevant Abs-arch parameter — crossbar/core/chip geometry,
+     * NoC topologies and bandwidths, buffer sizes and bandwidths, cost
+     * matrices, precisions — so a cache shared across architecture
+     * candidates (the DSE explorer sweeps them) can never alias two
+     * arch points that price differently.
+     */
     static std::string fingerprint(const Graph &graph,
                                    const CimArchitecture &arch,
                                    std::uint32_t encoding);

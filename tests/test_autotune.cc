@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -153,6 +155,198 @@ TEST(TuneCacheTest, SecondRunIsServedFromTheCache)
     EXPECT_EQ(first.value().table(), second.value().table());
     EXPECT_EQ(first.value().best().encoding,
               second.value().best().encoding);
+}
+
+TEST(TuneCacheTest, FingerprintSeparatesArchCandidates)
+{
+    // A DSE sweep shares one cache across arch candidates; any swept
+    // parameter must change the memo key. xb_size is the satellite pin;
+    // the NoC topology, xb_noc_bandwidth, and buffer sizes are the
+    // parameters the original key actually omitted.
+    const Graph graph = models::byName("lenet5");
+    const CimArchitecture base = presets::jainJssc21();
+
+    CimArchitecture xb_size = base;
+    xb_size.xbar.rows = 128;
+    xb_size.xbar.cols = 128;
+    EXPECT_NE(TuneCache::fingerprint(graph, base, 0),
+              TuneCache::fingerprint(graph, xb_size, 0));
+
+    CimArchitecture noc = base;
+    noc.chip.core_noc = NocType::kMesh;
+    EXPECT_NE(TuneCache::fingerprint(graph, base, 0),
+              TuneCache::fingerprint(graph, noc, 0));
+
+    CimArchitecture xb_noc_bw = base;
+    xb_noc_bw.core.xb_noc_bandwidth = 64.0;
+    EXPECT_NE(TuneCache::fingerprint(graph, base, 0),
+              TuneCache::fingerprint(graph, xb_noc_bw, 0));
+
+    CimArchitecture l0 = base;
+    l0.chip.l0_size_kib = 96.0;
+    EXPECT_NE(TuneCache::fingerprint(graph, base, 0),
+              TuneCache::fingerprint(graph, l0, 0));
+
+    CimArchitecture cost = base;
+    const std::size_t cores =
+        static_cast<std::size_t>(cost.chip.coreNumber());
+    cost.chip.core_noc_cost.assign(cores * cores, 2.0);
+    EXPECT_NE(TuneCache::fingerprint(graph, base, 0),
+              TuneCache::fingerprint(graph, cost, 0));
+}
+
+TEST(TuneCacheTest, ArchCandidatesWithDifferentXbSizeNeverShareEntries)
+{
+    const Graph graph = models::byName("lenet5");
+    CimArchitecture small = presets::jainJssc21();
+    CimArchitecture large = presets::jainJssc21();
+    large.xbar.rows = 128;
+    large.xbar.cols = 128;
+
+    TuneCache cache;
+    const AutoTuner tuner(
+        AutoTuneConfig{TuneObjective::kLatency, 1, &cache});
+    auto first = tuner.tune(graph, small);
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    auto second = tuner.tune(graph, large);
+    ASSERT_TRUE(second.isOk()) << second.status().toString();
+    // Same graph, same candidate encodings — but a different crossbar:
+    // nothing may alias.
+    EXPECT_EQ(second.value().cache_hits, 0);
+    EXPECT_EQ(cache.size(), first.value().candidates.size()
+                                + second.value().candidates.size());
+}
+
+// ----- cross-process persistence -----------------------------------------
+
+TEST(TuneCachePersistTest, RoundTripMatchesAWarmInMemoryCache)
+{
+    const Graph graph = models::byName("lenet5");
+    const CimArchitecture arch = presets::byName("jain").value();
+    const std::string path = "test_autotune_cache_roundtrip.json";
+
+    TuneCache original;
+    const AutoTuner tuner_a(
+        AutoTuneConfig{TuneObjective::kLatency, 1, &original});
+    auto cold = tuner_a.tune(graph, arch);
+    ASSERT_TRUE(cold.isOk()) << cold.status().toString();
+    ASSERT_TRUE(original.saveToFile(path).isOk());
+
+    // In-memory warm reference: every candidate served from the memo.
+    auto warm_memory = tuner_a.tune(graph, arch);
+    ASSERT_TRUE(warm_memory.isOk());
+
+    TuneCache reloaded;
+    ASSERT_TRUE(reloaded.loadFromFile(path).isOk());
+    EXPECT_EQ(reloaded.size(), original.size());
+    const AutoTuner tuner_b(
+        AutoTuneConfig{TuneObjective::kLatency, 1, &reloaded});
+    auto warm_disk = tuner_b.tune(graph, arch);
+    ASSERT_TRUE(warm_disk.isOk()) << warm_disk.status().toString();
+
+    // Hit counts identical to the in-memory warm cache, values
+    // bit-identical to the cold run.
+    EXPECT_EQ(warm_disk.value().cache_hits,
+              warm_memory.value().cache_hits);
+    EXPECT_EQ(warm_disk.value().cache_hits,
+              static_cast<std::int64_t>(
+                  warm_disk.value().candidates.size()));
+    EXPECT_EQ(warm_disk.value().table(), cold.value().table());
+    EXPECT_EQ(warm_disk.value().best().encoding,
+              cold.value().best().encoding);
+    std::remove(path.c_str());
+}
+
+TEST(TuneCachePersistTest, CorruptFileDegradesToAColdCache)
+{
+    const std::string path = "test_autotune_cache_corrupt.json";
+    {
+        std::ofstream out(path);
+        out << "this is not kvjson {{{";
+    }
+    TuneCache cache;
+    const Status loaded = cache.loadFromFile(path);
+    EXPECT_FALSE(loaded.isOk());
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The degraded cache still works — as a cold one.
+    const AutoTuner tuner(
+        AutoTuneConfig{TuneObjective::kLatency, 1, &cache});
+    auto result = tuner.tune(models::byName("conv_relu_toy"),
+                             presets::byName("tutorial").value());
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value().cache_hits, 0);
+    EXPECT_EQ(cache.size(), result.value().candidates.size());
+    std::remove(path.c_str());
+}
+
+TEST(TuneCachePersistTest, StaleSchemaOrTruncatedEntriesAreRejected)
+{
+    TuneCache cache;
+    // Pre-populate so a failed load demonstrably empties the memo
+    // instead of leaving stale entries behind.
+    cache.insert("sentinel", TuneCache::Entry{Status::ok(), 1, 2, 2});
+
+    auto wrong_schema = parseConfig(
+        R"({"schema": "cimmlc.tunecache.v0", "entries": []})");
+    ASSERT_TRUE(wrong_schema.isOk());
+    EXPECT_FALSE(cache.loadFromConfig(wrong_schema.value()).isOk());
+    EXPECT_EQ(cache.size(), 0u);
+
+    cache.insert("sentinel", TuneCache::Entry{Status::ok(), 1, 2, 2});
+    auto truncated = parseConfig(R"({
+        "schema": "cimmlc.tunecache.v1",
+        "entries": [{"key": "k", "code": 0, "latency_cycles": 1}]
+    })");
+    ASSERT_TRUE(truncated.isOk());
+    EXPECT_FALSE(cache.loadFromConfig(truncated.value()).isOk());
+    EXPECT_EQ(cache.size(), 0u);
+
+    cache.insert("sentinel", TuneCache::Entry{Status::ok(), 1, 2, 2});
+    auto bad_code = parseConfig(R"({
+        "schema": "cimmlc.tunecache.v1",
+        "entries": [{"key": "k", "code": 99, "latency_cycles": 1,
+                     "energy_pj": 1, "edp": 1}]
+    })");
+    ASSERT_TRUE(bad_code.isOk());
+    EXPECT_FALSE(cache.loadFromConfig(bad_code.value()).isOk());
+    EXPECT_EQ(cache.size(), 0u);
+
+    // A wrong-typed metric must be rejected, not loaded as 0.0 (a
+    // zero-latency entry would win every warm Pareto front).
+    cache.insert("sentinel", TuneCache::Entry{Status::ok(), 1, 2, 2});
+    auto mistyped = parseConfig(R"({
+        "schema": "cimmlc.tunecache.v1",
+        "entries": [{"key": "k", "code": 0, "latency_cycles": "oops",
+                     "energy_pj": 1, "edp": 1}]
+    })");
+    ASSERT_TRUE(mistyped.isOk());
+    EXPECT_FALSE(cache.loadFromConfig(mistyped.value()).isOk());
+    EXPECT_EQ(cache.size(), 0u);
+
+    EXPECT_FALSE(cache.loadFromFile("no_such_cache_file.json").isOk());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TuneCachePersistTest, FailedEvaluationsSurviveTheRoundTrip)
+{
+    // Failure entries matter: a warm cache must also skip re-running
+    // infeasible candidates, and their Status must come back intact.
+    TuneCache cache;
+    cache.insert("ok", TuneCache::Entry{Status::ok(), 10.0, 20.0, 200.0});
+    cache.insert("bad",
+                 TuneCache::Entry{resourceExhausted("too big"), 0, 0, 0});
+    TuneCache reloaded;
+    ASSERT_TRUE(reloaded.loadFromConfig(cache.toConfig()).isOk());
+    ASSERT_EQ(reloaded.size(), 2u);
+    auto ok_entry = reloaded.lookup("ok");
+    ASSERT_TRUE(ok_entry.has_value());
+    EXPECT_TRUE(ok_entry->status.isOk());
+    EXPECT_DOUBLE_EQ(ok_entry->latency_cycles, 10.0);
+    auto bad_entry = reloaded.lookup("bad");
+    ASSERT_TRUE(bad_entry.has_value());
+    EXPECT_EQ(bad_entry->status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(bad_entry->status.message(), "too big");
 }
 
 TEST(TuneCacheTest, DifferentArchesDoNotCollide)
