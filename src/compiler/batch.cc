@@ -17,6 +17,7 @@ namespace {
 struct TuneContext {
     TuneObjective objective = TuneObjective::kLatency;
     TuneCache *cache = nullptr; //!< nullptr = tuning disabled
+    SearchBudget budget;        //!< per-job tuner evaluation budget
 };
 
 /** Runs one job into @p entry; never throws or aborts on bad names. */
@@ -36,6 +37,7 @@ compileJob(const BatchJob &job, const ScheduleOptions &options,
         request.tune = true;
         request.objective = tune.objective;
         request.tune_cache = tune.cache;
+        request.search_budget = tune.budget;
         request.threads = 1;
     }
 
@@ -114,7 +116,8 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
     // pair reuse every candidate evaluation. Cached values are
     // bit-identical to fresh ones, so hits cannot perturb the output.
     TuneCache cache;
-    const TuneContext tune{objective_, tune_ ? &cache : nullptr};
+    const TuneContext tune{objective_, tune_ ? &cache : nullptr,
+                           budget_};
 
     if (threads_ == 1) {
         // Serial reference path: the determinism tests compare against it.
@@ -204,6 +207,12 @@ sweepFromConfig(const ConfigValue &doc)
     CIMMLC_ASSIGN_OR_RETURN(
         sweep.objective,
         parseTuneObjective(doc.getStringOr("objective", "latency")));
+    if (doc.has("budget")) {
+        auto budget = searchBudgetFromConfig(doc.get("budget").value());
+        if (!budget.isOk())
+            return budget.status().withContext("sweep 'budget'");
+        sweep.budget = budget.value();
+    }
     return sweep;
 }
 

@@ -65,6 +65,9 @@ struct BatchSweep {
     int threads = 0; //!< 0 = one per hardware thread
     bool tune = false; //!< auto-tune each job ("tune": true)
     TuneObjective objective = TuneObjective::kLatency;
+    //! per-job tuner evaluation budget ("budget": N or object); enables
+    //! dominance pruning when tuning (see search/search_budget.h)
+    SearchBudget budget;
 };
 
 /**
@@ -108,6 +111,10 @@ class BatchCompiler
     bool tuning() const { return tune_; }
     TuneObjective objective() const { return objective_; }
 
+    /** Per-job tuner evaluation budget (only read when tuning). */
+    void setSearchBudget(const SearchBudget &budget) { budget_ = budget; }
+    const SearchBudget &searchBudget() const { return budget_; }
+
     /**
      * Runs every job; per-job failures (unknown name, infeasible
      * mapping) are recorded in the entry, not propagated. Entries are
@@ -130,6 +137,7 @@ class BatchCompiler
     int threads_;
     bool tune_ = false;
     TuneObjective objective_ = TuneObjective::kLatency;
+    SearchBudget budget_;
 };
 
 /**
@@ -141,9 +149,13 @@ class BatchCompiler
  *     "opt": "full",                    # none | cg | cg+mvm | full
  *     "threads": 0,                     # 0 = hardware concurrency
  *     "tune": false,                    # auto-tune each job's options
- *     "objective": "latency"            # latency | energy | edp
+ *     "objective": "latency",           # latency | energy | edp
+ *     "budget": 64                      # tuner evaluation budget
  *   }
  * @endcode
+ *
+ * "budget" takes a bare evaluation count or the object form
+ * searchBudgetFromConfig accepts; it only applies to tuned sweeps.
  */
 StatusOr<BatchSweep> sweepFromFile(const std::string &path);
 

@@ -35,6 +35,10 @@
  *                       report the latency/energy Pareto front
  *   --tune-cache PATH   persist evaluated candidates across invocations
  *                       (kvjson memo; --autotune and --arch-dse)
+ *   --search-budget N   cap full-fidelity evaluations: the tuner prunes
+ *                       dominated knob supersets, the DSE explorer runs
+ *                       successive halving over cheap proxies
+ *                       (--autotune, --arch-dse, and tuned --batch)
  *   --threads N         worker threads for --batch / --autotune /
  *                       --arch-dse (0 = hardware concurrency)
  *   --serial            force the serial path (reference/debug)
@@ -71,6 +75,7 @@ struct CliArgs {
     std::string batch_file;
     std::string arch_dse_file;
     std::string tune_cache_file;
+    std::int64_t search_budget = -1; //!< -1 = not set (exhaustive)
     std::string check_kvjson;
     std::string report = "text";
     int threads = -1; //!< -1 = use the sweep file's setting
@@ -95,15 +100,16 @@ printUsage(std::FILE *out, const char *argv0)
         "          [--arch NAME | --arch-file PATH] [--opt LEVEL]\n"
         "          [--autotune [--objective latency|energy|edp] "
         "[--autotune-verbose]]\n"
-        "          [--threads N] [--serial]\n"
+        "          [--search-budget N] [--threads N] [--serial]\n"
         "          [--print-flow [N]] [--print-schedule] [--verify]\n"
         "          [--report text|json]\n"
         "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
         "[--objective NAME]\n"
-        "          [--threads N] [--serial]\n"
+        "          [--search-budget N] [--threads N] [--serial]\n"
         "       %s --arch-dse SPEC.json [--objective NAME] "
         "[--tune-cache PATH]\n"
-        "          [--threads N] [--serial] [--report text|json]\n"
+        "          [--search-budget N] [--threads N] [--serial] "
+        "[--report text|json]\n"
         "          [--check-kvjson PATH]\n"
         "          [--list-models] [--list-archs] [--help]\n",
         argv0, argv0, argv0);
@@ -173,8 +179,19 @@ runBatch(const CliArgs &args)
         objective = parsed.value();
     }
 
+    SearchBudget budget = sweep.value().budget;
+    if (args.search_budget >= 0)
+        budget.max_full_evals = args.search_budget;
+    if (budget.enabled() && !tune) {
+        std::fprintf(stderr,
+                     "--search-budget/'budget' only applies to tuned "
+                     "sweeps; set \"tune\": true or pass --autotune\n");
+        return 1;
+    }
+
     BatchCompiler batch(options, threads);
     batch.setTuning(tune, objective);
+    batch.setSearchBudget(budget);
     auto result = batch.run(sweep.value().jobs);
     if (!result.isOk()) {
         std::fprintf(stderr, "batch failed: %s\n",
@@ -265,6 +282,11 @@ runDse(const CliArgs &args)
         spec.value().threads = args.threads;
     if (args.serial)
         spec.value().threads = 1;
+    // The flag overrides the spec's evaluation cap but keeps its proxy
+    // fidelity settings, so a spec can pin e.g. opt=none proxies while
+    // CI varies the budget.
+    if (args.search_budget >= 0)
+        spec.value().budget.max_full_evals = args.search_budget;
 
     // One memo for the whole sweep; --tune-cache persists it so a
     // repeated invocation reuses every evaluation.
@@ -324,6 +346,8 @@ runSingle(const CliArgs &args)
         request.objective = objective.value();
         request.threads = args.serial ? 1 : std::max(args.threads, 0);
         request.tune_cache = &tune_cache;
+        if (args.search_budget >= 0)
+            request.search_budget.max_full_evals = args.search_budget;
         if (!args.tune_cache_file.empty())
             loadTuneCache(args.tune_cache_file, tune_cache);
     }
@@ -466,6 +490,13 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             args.tune_cache_file = v;
+        } else if (flag == "--search-budget") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            if (!parseNonNegativeInt("--search-budget", v,
+                                     &args.search_budget))
+                return 2;
         } else if (flag == "--check-kvjson") {
             const char *v = next();
             if (!v)
@@ -546,6 +577,13 @@ main(int argc, char **argv)
         && (batch_mode || !args.autotune)) {
         std::fprintf(stderr, "--tune-cache only applies to --autotune "
                              "and --arch-dse modes\n");
+        return usage(argv[0]);
+    }
+    if (args.search_budget >= 0 && !dse_mode && !batch_mode
+        && !args.autotune) {
+        std::fprintf(stderr, "--search-budget only applies to "
+                             "--autotune, --batch, and --arch-dse "
+                             "modes\n");
         return usage(argv[0]);
     }
     if (dse_mode

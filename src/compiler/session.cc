@@ -5,6 +5,7 @@
 #include "arch/presets.h"
 #include "arch/serialize.h"
 #include "common/strutil.h"
+#include "graph/analysis.h"
 #include "graph/models.h"
 #include "graph/serialize.h"
 #include "mop/printer.h"
@@ -105,6 +106,11 @@ CompileRequest::validate() const
                                "concurrency)");
     if (outputs.flow_limit < 0)
         return invalidArgument("outputs.flow_limit must be >= 0");
+    if (workload_prefix_nodes < 0)
+        return invalidArgument(
+            "workload_prefix_nodes must be >= 0 (0 = whole graph)");
+    CIMMLC_RETURN_IF_ERROR(
+        search_budget.validate().withContext("search_budget"));
     return Status::ok();
 }
 
@@ -187,6 +193,13 @@ CompileArtifacts::toConfig() const
         tune_obj["speedup_over_default"] =
             number(tune->speedupOverDefault());
         tune_obj["cache_hits"] = number(tune->cache_hits);
+        tune_obj["evaluated"] = number(tune->evaluated_count);
+        tune_obj["pruned"] = number(tune->pruned_count);
+        // The tuner only consumes the evaluation cap; serializing the
+        // proxy fields here would suggest halving proxies ran.
+        if (tune->budget.enabled())
+            tune_obj["budget_evals"] =
+                number(tune->budget.max_full_evals);
         doc["tune"] = ConfigValue::makeObject(std::move(tune_obj));
     }
 
@@ -302,6 +315,16 @@ CompilerSession::stageLoad(CompileArtifacts &artifacts, std::string &detail)
         arch_ = &*owned_arch_;
     }
 
+    if (request_.workload_prefix_nodes > 0) {
+        // Proxy fidelity: replace the workload with its topological
+        // prefix, so every downstream stage prices the truncated graph.
+        CIMMLC_ASSIGN_OR_RETURN(
+            Graph prefix,
+            topoPrefix(*graph_, request_.workload_prefix_nodes));
+        owned_graph_ = std::move(prefix);
+        graph_ = &*owned_graph_;
+    }
+
     artifacts.workload = graph_->name();
     artifacts.nodes = static_cast<std::int64_t>(graph_->nodeCount());
     artifacts.weights = graph_->totalWeights();
@@ -334,6 +357,7 @@ CompilerSession::stageTune(CompileArtifacts &artifacts, std::string &detail)
     config.objective = request_.objective;
     config.threads = request_.threads;
     config.cache = request_.tune_cache;
+    config.budget = request_.search_budget;
     const AutoTuner tuner(config);
     CIMMLC_ASSIGN_OR_RETURN(TuneResult tuned, tuner.tune(*graph_, *arch_));
     artifacts.options = tuned.best().options;

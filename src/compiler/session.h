@@ -44,6 +44,7 @@
 #include "graph/graph.h"
 #include "perfsim/perf_model.h"
 #include "funcsim/verify.h"
+#include "search/search_budget.h"
 #include "sched/autotune.h"
 #include "sched/codegen.h"
 #include "sched/options.h"
@@ -117,10 +118,23 @@ struct CompileRequest {
     //! explicit options; set by programmatic callers, wins over opt
     std::optional<ScheduleOptions> options;
 
+    /**
+     * Compile only the topological prefix holding the first N non-input
+     * operators of the workload (0 = the whole graph) — the cheap proxy
+     * fidelity the budgeted search engines price halving rungs with
+     * (graph/analysis.h topoPrefix). The prefix is built by the load
+     * stage, so every downstream stage (tune, schedule, perf) sees the
+     * truncated workload; reports carry the "#prefixN" name marker.
+     */
+    std::int64_t workload_prefix_nodes = 0;
+
     // ----- auto-tuning ---------------------------------------------------
     bool tune = false;
     TuneObjective objective = TuneObjective::kLatency;
     TuneCache *tune_cache = nullptr; //!< optional shared memo (not owned)
+    //! evaluation budget for the tune stage: enables dominance pruning
+    //! and caps candidate evaluations (see search/search_budget.h)
+    SearchBudget search_budget;
 
     //! worker threads for the tune stage (0 = hardware concurrency)
     int threads = 0;

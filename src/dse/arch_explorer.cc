@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <limits>
 #include <map>
 #include <optional>
@@ -13,6 +14,8 @@
 #include "compiler/session.h"
 #include "graph/models.h"
 #include "graph/serialize.h"
+#include "search/dominance.h"
+#include "search/halving.h"
 
 namespace cimmlc {
 
@@ -34,16 +37,6 @@ ConfigValue
 text(std::string v)
 {
     return ConfigValue::makeString(std::move(v));
-}
-
-/** (latency, energy) Pareto dominance: <= in both, < in at least one. */
-bool
-dominates(const DseCandidate &a, const DseCandidate &b)
-{
-    return a.latency_cycles <= b.latency_cycles
-           && a.energy_pj <= b.energy_pj
-           && (a.latency_cycles < b.latency_cycles
-               || a.energy_pj < b.energy_pj);
 }
 
 /**
@@ -117,6 +110,63 @@ evaluateCandidate(const Graph &graph, const DseSpec &spec,
     }
 }
 
+/**
+ * Prices one candidate on the cheap proxy stage of a halving rung:
+ * forced `opt=none` and/or a topological workload prefix, routed
+ * through the same staged CompilerSession as a full evaluation. @p key
+ * is the fidelity-tagged fingerprint, so proxy entries in a shared
+ * TuneCache can never alias full evaluations. @p session_runs counts
+ * actual (non-memoized) session executions for the report.
+ */
+void
+evaluateProxy(const Graph &graph, const DseSpec &spec,
+              DseCandidate &candidate, const SearchFidelity &fidelity,
+              const std::string &key, TuneCache *cache,
+              std::atomic<std::int64_t> &cache_hits,
+              std::atomic<std::int64_t> &session_runs)
+{
+    candidate.proxied = true;
+    if (cache != nullptr) {
+        if (auto hit = cache->lookup(key)) {
+            candidate.status = hit->status;
+            candidate.proxy_latency_cycles = hit->latency_cycles;
+            candidate.proxy_energy_pj = hit->energy_pj;
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+
+    auto fill = [&]() -> Status {
+        CompileRequest request;
+        request.graph = &graph;
+        request.arch_ref = &candidate.arch;
+        request.options = fidelity.forced_opt_none
+                              ? ScheduleOptions::none()
+                              : spec.options;
+        request.workload_prefix_nodes = fidelity.prefix_nodes;
+        request.threads = 1;
+        request.outputs.flow = false;
+        request.stop_after = CompileStage::kPerf;
+        CompilerSession session(std::move(request));
+        CIMMLC_ASSIGN_OR_RETURN(const CompileArtifacts artifacts,
+                                session.run());
+        candidate.proxy_latency_cycles = artifacts.perf->latency_cycles;
+        candidate.proxy_energy_pj = artifacts.perf->energy.total();
+        return Status::ok();
+    };
+    candidate.status = fill();
+    session_runs.fetch_add(1, std::memory_order_relaxed);
+
+    if (cache != nullptr) {
+        cache->insert(
+            key, TuneCache::Entry{candidate.status,
+                                  candidate.proxy_latency_cycles,
+                                  candidate.proxy_energy_pj,
+                                  candidate.proxy_latency_cycles
+                                      * candidate.proxy_energy_pj});
+    }
+}
+
 } // namespace
 
 // ----- spec parsing ---------------------------------------------------------
@@ -171,6 +221,19 @@ dseSpecFromConfig(const ConfigValue &doc)
     if (spec.threads < 0)
         return parseError("DSE spec 'threads' must be >= 0");
 
+    if (doc.has("budget")) {
+        auto budget = searchBudgetFromConfig(doc.get("budget").value());
+        if (!budget.isOk())
+            return budget.status().withContext("DSE spec 'budget'");
+        // DSE budgets drive halving, so the proxy stage must be
+        // genuinely cheaper than full fidelity; fail at parse time
+        // rather than deep inside explore().
+        const Status halving = budget.value().validateForHalving();
+        if (!halving.isOk())
+            return halving.withContext("DSE spec 'budget'");
+        spec.budget = budget.value();
+    }
+
     if (!doc.has("sweep"))
         return parseError("DSE spec needs a 'sweep' object (the "
                           "Abs-arch parameters to search)");
@@ -215,21 +278,24 @@ DseCandidate::objectiveValue(TuneObjective objective) const
 std::vector<std::size_t>
 paretoFrontIndices(const std::vector<DseCandidate> &candidates)
 {
-    std::vector<std::size_t> front;
+    // Only fully evaluated points compete: proxy metrics steer halving
+    // promotion but never earn front membership, which is what makes a
+    // budgeted front a guaranteed subset of the full-evaluation set.
+    std::vector<SearchPoint> points;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (!candidates[i].status.isOk())
+        if (!candidates[i].status.isOk() || !candidates[i].full_eval)
             continue;
-        bool dominated = false;
-        for (std::size_t j = 0; j < candidates.size(); ++j) {
-            if (j == i || !candidates[j].status.isOk())
-                continue;
-            if (dominates(candidates[j], candidates[i])) {
-                dominated = true;
-                break;
-            }
-        }
-        if (!dominated)
-            front.push_back(i);
+        SearchPoint point;
+        point.id = i;
+        point.metrics = MetricPoint{candidates[i].latency_cycles,
+                                    candidates[i].energy_pj};
+        points.push_back(point);
+    }
+    const std::vector<std::size_t> ranks = paretoRanks(points);
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (ranks[i] == 0)
+            front.push_back(points[i].id);
     }
     std::sort(front.begin(), front.end(),
               [&candidates](std::size_t a, std::size_t b) {
@@ -307,6 +373,7 @@ ArchExplorer::explore(TuneCache *cache) const
     result.weights = graph.totalWeights();
     result.base_arch = spec_.base_arch.name;
     result.tuned = spec_.tune;
+    result.budget = spec_.budget;
     result.candidates = enumerate();
 
     // Deduplicate sweep points that denote the same evaluation (e.g. a
@@ -336,24 +403,131 @@ ArchExplorer::explore(TuneCache *cache) const
             copy_from[candidate.index] = it->second;
     }
 
+    std::int64_t compute_nodes = 0;
+    for (const Node &node : graph.nodes())
+        if (node.kind != OpKind::kInput)
+            ++compute_nodes;
+
+    // The halving ladder over the unique evaluations: a disabled
+    // budget yields the single-rung exhaustive schedule and the loop
+    // below degenerates to the original full-fidelity sweep. A
+    // prefix-only proxy over a single-compute-node workload cannot be
+    // cheaper than full fidelity, so such runs degrade to exhaustive
+    // too instead of paying every "proxy" rung at full session cost.
+    const bool proxy_can_cheapen =
+        spec_.budget.proxy_opt_none || compute_nodes > 1;
+    CIMMLC_ASSIGN_OR_RETURN(
+        const HalvingSchedule ladder,
+        makeHalvingSchedule(static_cast<std::int64_t>(unique.size()),
+                            spec_.budget.enabled() && proxy_can_cheapen
+                                ? spec_.budget.max_full_evals
+                                : 0));
+    result.rung_sizes = ladder.rungs;
+    const std::size_t proxy_rungs = ladder.proxyRungCount();
+    // Re-check here, not just at spec parse: the CLI --search-budget
+    // override can enable a budget whose spec-provided proxy settings
+    // degenerate to full fidelity, which would turn every proxy rung
+    // into an untagged full evaluation.
+    if (proxy_rungs > 0)
+        CIMMLC_RETURN_IF_ERROR(spec_.budget.validateForHalving()
+                                   .withContext("arch-dse budget"));
+
     std::atomic<std::int64_t> cache_hits{0};
-    if (spec_.threads == 1) {
-        // Serial reference path: the determinism tests compare against it.
-        for (std::size_t index : unique)
-            evaluateCandidate(graph, spec_, result.candidates[index],
-                              keys[index], cache, cache_hits);
-    } else {
-        ThreadPool pool(spec_.threads);
-        for (std::size_t index : unique) {
-            DseCandidate &candidate = result.candidates[index];
-            pool.submit([this, &graph, &candidate, &keys, index, cache,
-                         &cache_hits] {
-                evaluateCandidate(graph, spec_, candidate, keys[index],
-                                  cache, cache_hits);
-            });
+    std::atomic<std::int64_t> proxy_runs{0};
+    std::optional<ThreadPool> pool;
+    if (spec_.threads != 1)
+        pool.emplace(spec_.threads);
+    // Runs one rung: every survivor gets its own pre-assigned result
+    // slot, so the parallel path is byte-identical to the serial one.
+    auto run_rung = [&pool](const std::vector<std::size_t> &indices,
+                            const std::function<void(std::size_t)> &eval) {
+        if (pool.has_value()) {
+            for (std::size_t index : indices)
+                pool->submit([&eval, index] { eval(index); });
+            pool->wait();
+        } else {
+            for (std::size_t index : indices)
+                eval(index);
         }
-        pool.wait();
+    };
+
+    std::vector<std::size_t> survivors = unique;
+    if (proxy_rungs > 0) {
+        // Budgeted run: nothing has full fidelity until the last rung
+        // grants it.
+        for (DseCandidate &candidate : result.candidates)
+            candidate.full_eval = false;
+        const std::uint32_t proxy_encoding =
+            AutoTuner::encodeOptions(spec_.budget.proxy_opt_none
+                                         ? ScheduleOptions::none()
+                                         : spec_.options);
+        std::optional<SearchFidelity> evaluated_fidelity;
+        for (std::size_t rung = 0; rung < proxy_rungs; ++rung) {
+            const SearchFidelity fidelity = proxyFidelity(
+                spec_.budget, compute_nodes, rung, proxy_rungs);
+            // Small workloads can round consecutive rungs to the same
+            // prefix; re-pricing survivors at an identical fidelity
+            // would reproduce their metrics byte for byte, so only the
+            // selection shrink runs for such a rung.
+            if (fidelity != evaluated_fidelity) {
+                std::vector<std::string> proxy_keys(
+                    result.candidates.size());
+                for (std::size_t index : survivors)
+                    proxy_keys[index] = TuneCache::fingerprint(
+                        graph, result.candidates[index].arch,
+                        proxy_encoding, fidelity);
+                run_rung(survivors, [&](std::size_t index) {
+                    DseCandidate &candidate = result.candidates[index];
+                    candidate.rung = static_cast<std::int64_t>(rung);
+                    evaluateProxy(graph, spec_, candidate, fidelity,
+                                  proxy_keys[index], cache, cache_hits,
+                                  proxy_runs);
+                });
+                evaluated_fidelity = fidelity;
+            }
+            // Promote the next rung's worth: Pareto-rank-aware on the
+            // proxy metrics so a front spread across the trade-off
+            // survives, scalar objective breaking ties inside a rank.
+            std::vector<SearchPoint> points;
+            points.reserve(survivors.size());
+            for (std::size_t index : survivors) {
+                const DseCandidate &candidate = result.candidates[index];
+                SearchPoint point;
+                point.id = index;
+                point.metrics =
+                    MetricPoint{candidate.proxy_latency_cycles,
+                                candidate.proxy_energy_pj};
+                point.feasible = candidate.status.isOk();
+                switch (spec_.objective) {
+                  case TuneObjective::kLatency:
+                    point.objective = candidate.proxy_latency_cycles;
+                    break;
+                  case TuneObjective::kEnergy:
+                    point.objective = candidate.proxy_energy_pj;
+                    break;
+                  case TuneObjective::kEdp:
+                    point.objective = candidate.proxy_latency_cycles
+                                      * candidate.proxy_energy_pj;
+                    break;
+                }
+                points.push_back(point);
+            }
+            survivors =
+                selectSurvivors(points, ladder.rungs[rung + 1]);
+        }
     }
+
+    // Full-fidelity rung: the survivors (everyone, when exhaustive).
+    run_rung(survivors, [&](std::size_t index) {
+        DseCandidate &candidate = result.candidates[index];
+        candidate.full_eval = true;
+        candidate.rung = static_cast<std::int64_t>(proxy_rungs);
+        evaluateCandidate(graph, spec_, candidate, keys[index], cache,
+                          cache_hits);
+    });
+    result.full_evals = static_cast<std::int64_t>(survivors.size());
+    result.proxy_evals = proxy_runs.load();
+
     for (DseCandidate &candidate : result.candidates) {
         if (copy_from[candidate.index] >= result.candidates.size())
             continue;
@@ -365,6 +539,11 @@ ArchExplorer::explore(TuneCache *cache) const
         candidate.edp = source.edp;
         candidate.tuned = source.tuned;
         candidate.config = source.config;
+        candidate.rung = source.rung;
+        candidate.full_eval = source.full_eval;
+        candidate.proxied = source.proxied;
+        candidate.proxy_latency_cycles = source.proxy_latency_cycles;
+        candidate.proxy_energy_pj = source.proxy_energy_pj;
         cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
     result.cache_hits = cache_hits.load();
@@ -396,7 +575,7 @@ DseResult::feasibleCount() const
 {
     std::int64_t ok = 0;
     for (const DseCandidate &candidate : candidates)
-        if (candidate.status.isOk())
+        if (candidate.full_eval && candidate.status.isOk())
             ++ok;
     return ok;
 }
@@ -404,21 +583,32 @@ DseResult::feasibleCount() const
 std::string
 DseResult::table() const
 {
-    // Ranked view: feasible candidates by ascending objective (ties:
-    // EDP, then index — the tuner's tie-break discipline), infeasible
-    // ones last by index. Sorting keys only, never timing, keeps the
-    // render thread-count independent.
+    // Ranked view: fully evaluated feasible candidates by ascending
+    // objective (ties: EDP, then index — the tuner's tie-break
+    // discipline), then proxy-only rows a budgeted run did not promote
+    // (by index), infeasible ones last by index. Sorting keys only,
+    // never timing, keeps the render thread-count independent.
+    auto group = [](const DseCandidate &candidate) {
+        if (candidate.full_eval && candidate.status.isOk())
+            return 0;
+        // A failed proxy has no metrics; it renders with the plain
+        // infeasible rows below, not with the proxy-priced ones.
+        if (candidate.proxied && !candidate.full_eval
+            && candidate.status.isOk())
+            return 1;
+        return 2;
+    };
     std::vector<std::size_t> order(candidates.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
     const TuneObjective objective = this->objective;
     std::sort(order.begin(), order.end(),
-              [this, objective](std::size_t a, std::size_t b) {
+              [this, objective, &group](std::size_t a, std::size_t b) {
                   const DseCandidate &ca = candidates[a];
                   const DseCandidate &cb = candidates[b];
-                  if (ca.status.isOk() != cb.status.isOk())
-                      return ca.status.isOk();
-                  if (!ca.status.isOk())
+                  if (group(ca) != group(cb))
+                      return group(ca) < group(cb);
+                  if (group(ca) != 0)
                       return ca.index < cb.index;
                   const double va = ca.objectiveValue(objective);
                   const double vb = cb.objectiveValue(objective);
@@ -433,7 +623,8 @@ DseResult::table() const
                      "EDP", "config", "note"});
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
         const DseCandidate &candidate = candidates[order[rank]];
-        if (candidate.status.isOk()) {
+        switch (group(candidate)) {
+          case 0: {
             std::string note;
             if (candidate.on_front)
                 note = rank == 0 ? "front <- best" : "front";
@@ -445,10 +636,27 @@ DseResult::table() const
                           (candidate.tuned ? "tuned: " : "")
                               + candidate.config,
                           note});
-        } else {
+            break;
+          }
+          case 1:
+            // Halving priced these on the proxy stage only; the
+            // metrics shown are proxy-fidelity and never compete for
+            // the front.
+            table.addRow(
+                {strformat("%zu", candidate.index), candidate.label,
+                 strformat("%.6g", candidate.proxy_latency_cycles),
+                 strformat("%.6g", candidate.proxy_energy_pj),
+                 strformat("%.6g", candidate.proxy_latency_cycles
+                                       * candidate.proxy_energy_pj),
+                 "-",
+                 strformat("proxy rung %lld (not promoted)",
+                           static_cast<long long>(candidate.rung))});
+            break;
+          default:
             table.addRow({strformat("%zu", candidate.index),
                           candidate.label, "-", "-", "-", "-",
                           candidate.status.toString()});
+            break;
         }
     }
     return table.render();
@@ -477,13 +685,23 @@ std::string
 DseResult::summary() const
 {
     const DseCandidate &best = bestByObjective();
-    return strformat(
+    std::string line = strformat(
         "arch-dse[%s]: %zu candidates (%lld feasible), Pareto front %zu "
         "points, best %s=%.6g at [%s], cache hits %lld",
         tuneObjectiveName(objective), candidates.size(),
         static_cast<long long>(feasibleCount()), front.size(),
         tuneObjectiveName(objective), best.objectiveValue(objective),
         best.label.c_str(), static_cast<long long>(cache_hits));
+    if (budget.enabled()) {
+        HalvingSchedule ladder;
+        ladder.rungs = rung_sizes;
+        line += strformat(
+            ", budget %s, rungs %s, %lld full + %lld proxy evals",
+            budget.toString().c_str(), ladder.toString().c_str(),
+            static_cast<long long>(full_evals),
+            static_cast<long long>(proxy_evals));
+    }
+    return line;
 }
 
 ConfigValue
@@ -512,17 +730,37 @@ DseResult::toConfig() const
             params[param] = text(value);
         row["params"] = ConfigValue::makeObject(std::move(params));
         row["status"] = text(candidate.status.toString());
-        if (candidate.status.isOk()) {
+        if (candidate.full_eval && candidate.status.isOk()) {
             row["latency_cycles"] = number(candidate.latency_cycles);
             row["energy_pj"] = number(candidate.energy_pj);
             row["edp"] = number(candidate.edp);
             row["config"] = text(candidate.config);
             row["tuned"] = ConfigValue::makeBool(candidate.tuned);
         }
+        // Budgeted-search provenance: which rung the candidate reached,
+        // whether it earned full fidelity, and the proxy metrics its
+        // promotion verdict was based on.
+        row["rung"] = number(candidate.rung);
+        row["full_eval"] = ConfigValue::makeBool(candidate.full_eval);
+        if (candidate.proxied) {
+            row["proxy_latency_cycles"] =
+                number(candidate.proxy_latency_cycles);
+            row["proxy_energy_pj"] = number(candidate.proxy_energy_pj);
+        }
         row["on_front"] = ConfigValue::makeBool(candidate.on_front);
         rows.push_back(ConfigValue::makeObject(std::move(row)));
     }
     doc["evaluated"] = ConfigValue::makeArray(std::move(rows));
+
+    ConfigValue::Object search_obj;
+    search_obj["budget"] = searchBudgetToConfig(budget);
+    ConfigValue::Array rung_rows;
+    for (std::int64_t size : rung_sizes)
+        rung_rows.push_back(number(size));
+    search_obj["rungs"] = ConfigValue::makeArray(std::move(rung_rows));
+    search_obj["full_evals"] = number(full_evals);
+    search_obj["proxy_evals"] = number(proxy_evals);
+    doc["search"] = ConfigValue::makeObject(std::move(search_obj));
 
     ConfigValue::Array front_rows;
     for (std::size_t index : front)

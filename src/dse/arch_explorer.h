@@ -30,6 +30,7 @@
 #include "arch/serialize.h"
 #include "common/config.h"
 #include "common/status.h"
+#include "search/search_budget.h"
 #include "sched/autotune.h"
 #include "sched/options.h"
 
@@ -65,6 +66,16 @@ struct DseSpec {
     bool tune = false;           //!< auto-tune each candidate
     TuneObjective objective = TuneObjective::kLatency;
     int threads = 0; //!< 0 = hardware concurrency, 1 = serial
+
+    /**
+     * Full-fidelity evaluation budget (`"budget"` key / CLI
+     * `--search-budget N`). When enabled, explore() runs successive
+     * halving (search/halving.h): every candidate is priced on a cheap
+     * proxy stage first and only the surviving fraction per rung is
+     * promoted to full evaluation; the Pareto front is computed over
+     * fully evaluated candidates only.
+     */
+    SearchBudget budget;
 };
 
 /** Parses a DSE spec document / text / file. */
@@ -82,13 +93,27 @@ struct DseCandidate {
     std::vector<std::pair<std::string, std::string>> params;
     std::string label; //!< "xb_size=128x128 core_grid=2x2"
 
-    Status status; //!< evaluation outcome; metrics valid iff OK
+    //! outcome of the last evaluation this candidate received (full
+    //! fidelity when full_eval, otherwise its final proxy rung)
+    Status status;
+    //! full-fidelity metrics; valid iff full_eval && status OK
     double latency_cycles = 0.0;
     double energy_pj = 0.0;
     double edp = 0.0;
     bool tuned = false;
     std::string config; //!< ScheduleOptions the candidate compiled with
     bool on_front = false;
+
+    // ----- budgeted-search provenance -----------------------------------
+    //! last rung this candidate was evaluated in (proxy rungs first;
+    //! the final ladder rung is full fidelity). 0 for exhaustive runs.
+    std::int64_t rung = 0;
+    //! received a full-fidelity evaluation — the precondition for
+    //! Pareto-front membership
+    bool full_eval = true;
+    bool proxied = false; //!< proxy metrics below are valid
+    double proxy_latency_cycles = 0.0;
+    double proxy_energy_pj = 0.0;
 
     double objectiveValue(TuneObjective objective) const;
 };
@@ -99,7 +124,10 @@ struct DseCandidate {
  * index. Dominance is the strict Pareto order: a dominates b iff a is
  * <= in both objectives and < in at least one, so duplicate points are
  * both kept. Membership depends only on the metric values, never on
- * evaluation order or timing.
+ * evaluation order or timing. Only fully evaluated candidates
+ * (full_eval) participate: a budgeted run's front is guaranteed to be
+ * a subset of the candidates that received full-fidelity evaluation —
+ * proxy metrics can steer promotion but never claim front membership.
  */
 std::vector<std::size_t>
 paretoFrontIndices(const std::vector<DseCandidate> &candidates);
@@ -119,7 +147,17 @@ struct DseResult {
     std::int64_t cache_hits = 0;    //!< memoized evaluations this run
     std::int64_t cache_entries = 0; //!< cache size after the run
 
-    /** Candidates whose evaluation succeeded. */
+    // ----- budgeted-search provenance -----------------------------------
+    SearchBudget budget; //!< the budget this exploration ran under
+    //! the halving ladder actually run (rung sizes over the unique
+    //! evaluations; a single rung means exhaustive full fidelity)
+    std::vector<std::int64_t> rung_sizes;
+    //! unique full-fidelity evaluations requested (memo hits included)
+    std::int64_t full_evals = 0;
+    //! unique proxy-stage session runs across all halving rungs
+    std::int64_t proxy_evals = 0;
+
+    /** Fully evaluated candidates whose evaluation succeeded. */
     std::int64_t feasibleCount() const;
 
     /** Front point minimizing the ranking objective (ties: EDP, then

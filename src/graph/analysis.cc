@@ -1,6 +1,7 @@
 #include "graph/analysis.h"
 
 #include "common/logging.h"
+#include "common/strutil.h"
 #include "graph/graph.h"
 
 namespace cimmlc {
@@ -96,6 +97,99 @@ outputElements(const Graph &graph, NodeId node_id)
 {
     const Node &n = graph.node(node_id);
     return graph.tensor(n.output).numel();
+}
+
+StatusOr<Graph>
+topoPrefix(const Graph &graph, std::int64_t compute_nodes)
+{
+    if (compute_nodes < 1)
+        return invalidArgument(
+            "topoPrefix: compute_nodes must be >= 1");
+
+    // Decide which non-input nodes survive: the first compute_nodes of
+    // the topo order, extended until the prefix contains at least one
+    // CIM-mappable operator so the scheduler has something to map.
+    const std::vector<NodeId> order = graph.topoOrder();
+    std::vector<NodeId> kept;
+    bool has_mappable = false;
+    for (NodeId id : order) {
+        const Node &node = graph.node(id);
+        if (node.kind == OpKind::kInput)
+            continue;
+        const bool within =
+            static_cast<std::int64_t>(kept.size()) < compute_nodes;
+        if (!within && has_mappable)
+            break;
+        kept.push_back(id);
+        if (isCimMappable(node.kind))
+            has_mappable = true;
+    }
+    if (!has_mappable)
+        return failedPrecondition(
+            "topoPrefix: graph '" + graph.name()
+            + "' has no CIM-mappable operator to anchor a prefix");
+
+    Graph prefix(strformat("%s#prefix%zu", graph.name().c_str(),
+                           kept.size()));
+    std::vector<TensorId> tensor_map(graph.tensorCount(),
+                                     kInvalidTensor);
+    for (TensorId input : graph.inputs()) {
+        const ValueInfo &info = graph.tensor(input);
+        tensor_map[static_cast<std::size_t>(input)] =
+            prefix.addInput(info.name, info.dims);
+    }
+    std::vector<bool> is_kept(graph.nodeCount(), false);
+    for (NodeId id : kept) {
+        const Node &node = graph.node(id);
+        std::vector<TensorId> inputs;
+        inputs.reserve(node.inputs.size());
+        for (TensorId in : node.inputs) {
+            const TensorId mapped =
+                tensor_map[static_cast<std::size_t>(in)];
+            // Topo order guarantees every producer precedes its
+            // consumers, so a kept node only references mapped tensors.
+            CIMMLC_CHECK_NE(mapped, kInvalidTensor)
+                << "prefix node '" << node.name
+                << "' references a tensor outside the prefix";
+            inputs.push_back(mapped);
+        }
+        const TensorId out = prefix.addNode(node.kind, node.attrs,
+                                            std::move(inputs), node.name);
+        tensor_map[static_cast<std::size_t>(node.output)] = out;
+        is_kept[static_cast<std::size_t>(id)] = true;
+        if (graph.hasWeight(id))
+            prefix.setWeight(
+                static_cast<NodeId>(prefix.nodeCount() - 1),
+                graph.weight(id));
+    }
+
+    // Outputs: kept non-input tensors that lost all their consumers to
+    // the cut, plus the original outputs that survive. De-duplicated,
+    // in original tensor order for determinism.
+    std::vector<bool> is_output(graph.tensorCount(), false);
+    for (TensorId out : graph.outputs())
+        is_output[static_cast<std::size_t>(out)] = true;
+    for (TensorId id = 0;
+         id < static_cast<TensorId>(graph.tensorCount()); ++id) {
+        const TensorId mapped = tensor_map[static_cast<std::size_t>(id)];
+        if (mapped == kInvalidTensor)
+            continue;
+        const ValueInfo &info = graph.tensor(id);
+        if (info.producer != kInvalidNode
+            && graph.node(info.producer).kind == OpKind::kInput)
+            continue;
+        bool consumed = false;
+        for (NodeId consumer : info.consumers) {
+            if (is_kept[static_cast<std::size_t>(consumer)]) {
+                consumed = true;
+                break;
+            }
+        }
+        if (!consumed || is_output[static_cast<std::size_t>(id)])
+            prefix.markOutput(mapped);
+    }
+    CIMMLC_RETURN_IF_ERROR(prefix.validate().withContext("topoPrefix"));
+    return prefix;
 }
 
 } // namespace cimmlc

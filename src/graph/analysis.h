@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/status.h"
+#include "graph/graph.h"
 #include "graph/node.h"
 
 namespace cimmlc {
-
-class Graph;
 
 /**
  * Dimensions of the weight matrix a CIM-mappable node maps onto crossbars
@@ -48,6 +48,27 @@ std::int64_t aluOpCount(const Graph &graph, NodeId node);
 
 /** Output activation element count of @p node. */
 std::int64_t outputElements(const Graph &graph, NodeId node);
+
+/**
+ * Builds the topological-prefix subgraph keeping every graph input and
+ * the first @p compute_nodes non-input operators of the topo order —
+ * the cheap workload proxy the budgeted search engine prices halving
+ * rungs with (see search/halving.h and
+ * CompileRequest::workload_prefix_nodes).
+ *
+ * The prefix is always extended through the first CIM-mappable
+ * operator so the result stays schedulable, and is clamped to the
+ * whole graph when @p compute_nodes covers it. Kept tensors whose
+ * consumers were all cut (and the original outputs that survive)
+ * become the prefix's outputs. Installed weights of kept nodes are
+ * carried over. The prefix graph's name carries a "#prefixN" marker so
+ * it can never be mistaken for the full workload in caches or reports.
+ *
+ * Fails when @p compute_nodes < 1 or the graph has no CIM-mappable
+ * operator at all.
+ */
+StatusOr<Graph> topoPrefix(const Graph &graph,
+                           std::int64_t compute_nodes);
 
 } // namespace cimmlc
 

@@ -1,6 +1,7 @@
 #include "sched/autotune.h"
 
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <limits>
 
@@ -8,6 +9,7 @@
 #include "common/table.h"
 #include "common/threadpool.h"
 #include "compiler/session.h"
+#include "search/dominance.h"
 #include "sched/multi_level.h"
 
 namespace cimmlc {
@@ -28,6 +30,12 @@ constexpr std::uint32_t kSegmentCapShift = 6;
 constexpr std::uint32_t kSegmentCapMask = 3u << kSegmentCapShift;
 constexpr std::int64_t kSegmentCaps[] = {0, 1, 2, 4};
 constexpr std::uint32_t kEncodingSpace = 1u << 8;
+
+// The public pruning masks (autotune.h) must track this bit layout.
+static_assert(kTuneKnobMask
+              == (kCgDuplicationBit | kCgPipelineBit | kMvmDuplicationBit
+                  | kMvmPipelineBit | kVvmRemapBit));
+static_assert(kTuneContextMask == (kBitsToCrossbarsBit | kSegmentCapMask));
 
 /** The option clamp scheduleGraph applies for @p mode. */
 ScheduleOptions
@@ -205,12 +213,24 @@ TuneResult::table() const
 std::string
 TuneResult::summary() const
 {
-    return strformat(
+    std::string line = strformat(
         "autotune[%s]: %zu candidates, best=%s (%s %.6g, %.3gx better "
         "than default)",
         tuneObjectiveName(objective), candidates.size(),
         best().options.toString().c_str(), tuneObjectiveName(objective),
         best().objectiveValue(objective), speedupOverDefault());
+    if (budget.enabled()) {
+        // Only the evaluation cap: the proxy-fidelity fields of the
+        // budget are consumed by the explorer's halving rungs, never
+        // by the tuner, so rendering them here would claim proxy
+        // evaluations that did not happen.
+        line += strformat(
+            ", evaluated %lld (pruned %lld, budget evals<=%lld)",
+            static_cast<long long>(evaluated_count),
+            static_cast<long long>(pruned_count),
+            static_cast<long long>(budget.max_full_evals));
+    }
+    return line;
 }
 
 std::optional<TuneCache::Entry>
@@ -249,7 +269,8 @@ TuneCache::size() const
 
 std::string
 TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
-                       std::uint32_t encoding)
+                       std::uint32_t encoding,
+                       const SearchFidelity &fidelity)
 {
     // Identity of the evaluation inputs: graph structure summarized by
     // name + size + work, architecture by every cost-relevant parameter.
@@ -276,7 +297,7 @@ TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
         "%s|n%zu|w%lld|m%lld|h%016llx||%s|%s|c%lldx%lld|x%lldx%lld|"
         "r%lldx%lld|pr%lld|dac%d|adc%d|ct%d|cb%d|wb%d|ab%d|"
         "bw%.17g/%.17g/%.17g|alu%.17g/%.17g|noc%d/%d|xbw%.17g|"
-        "l0s%.17g|l1s%.17g|nch%016llx||o%u",
+        "l0s%.17g|l1s%.17g|nch%016llx||o%u%s",
         graph.name().c_str(), graph.nodeCount(),
         static_cast<long long>(graph.totalWeights()),
         static_cast<long long>(graph.totalMacs()),
@@ -299,7 +320,12 @@ TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
         static_cast<int>(arch.chip.core_noc),
         static_cast<int>(arch.core.xb_noc), arch.core.xb_noc_bandwidth,
         arch.chip.l0_size_kib, arch.core.l1_size_kib,
-        static_cast<unsigned long long>(noc_cost_hash), encoding);
+        static_cast<unsigned long long>(noc_cost_hash), encoding,
+        // Proxy evaluations (halving rungs force opt=none and/or price
+        // a workload prefix) are tagged so a warm cache entry from a
+        // rung can never alias — and never poison — a full evaluation
+        // of the same point.
+        fidelity.tag().c_str());
 }
 
 ConfigValue
@@ -490,20 +516,116 @@ AutoTuner::tune(const Graph &graph, const CimArchitecture &arch) const
     }
 
     std::atomic<std::int64_t> cache_hits{0};
-    if (config_.threads == 1) {
-        // Serial reference path: the determinism tests compare against it.
-        for (TuneCandidate &candidate : result.candidates)
-            evaluateCandidate(graph, arch, candidate, config_.cache,
-                              cache_hits);
-    } else {
-        ThreadPool pool(config_.threads);
-        for (TuneCandidate &candidate : result.candidates) {
-            pool.submit([this, &graph, &arch, &candidate, &cache_hits] {
+    result.budget = config_.budget;
+    if (!config_.budget.enabled()) {
+        // Exhaustive reference path, byte-identical to the pre-budget
+        // tuner; the differential suite compares the budgeted engine
+        // against it.
+        if (config_.threads == 1) {
+            for (TuneCandidate &candidate : result.candidates)
                 evaluateCandidate(graph, arch, candidate, config_.cache,
                                   cache_hits);
-            });
+        } else {
+            ThreadPool pool(config_.threads);
+            for (TuneCandidate &candidate : result.candidates) {
+                pool.submit(
+                    [this, &graph, &arch, &candidate, &cache_hits] {
+                        evaluateCandidate(graph, arch, candidate,
+                                          config_.cache, cache_hits);
+                    });
+            }
+            pool.wait();
         }
-        pool.wait();
+        result.evaluated_count =
+            static_cast<std::int64_t>(result.candidates.size());
+    } else {
+        // Budgeted path: deterministic waves by ascending enabled-knob
+        // count (then encoding — candidates are already in encoding
+        // order). Prune decisions for a wave read only completed
+        // waves, so the evaluated set — and with it every byte of the
+        // report — is independent of thread count. Candidates in one
+        // wave never relate in the knob-subset order (a proper subset
+        // has strictly fewer knobs), so intra-wave parallelism cannot
+        // change any decision.
+        std::map<int, std::vector<std::size_t>> waves;
+        for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+            const std::uint32_t knobs =
+                result.candidates[i].encoding & kTuneKnobMask;
+            waves[std::popcount(knobs)].push_back(i);
+        }
+        DominancePruner pruner(
+            KnobSubsetOrder(kTuneKnobMask, kTuneContextMask));
+        const std::int64_t cap = config_.budget.max_full_evals;
+        std::int64_t evaluated = 0;
+        // One budget slot stays reserved for the default configuration
+        // (the speedup-over-default baseline of every report) until its
+        // wave schedules it, so the cap is never overrun.
+        bool default_pending = true;
+        std::optional<ThreadPool> pool;
+        if (config_.threads != 1)
+            pool.emplace(config_.threads);
+        for (auto &[knob_count, wave] : waves) {
+            (void)knob_count;
+            std::vector<std::size_t> to_eval;
+            for (std::size_t index : wave) {
+                TuneCandidate &candidate = result.candidates[index];
+                const bool is_default =
+                    candidate.encoding == default_encoding;
+                if (is_default) {
+                    default_pending = false;
+                } else {
+                    if (auto culprit =
+                            pruner.shouldPrune(candidate.encoding)) {
+                        candidate.pruned = true;
+                        candidate.status = failedPrecondition(strformat(
+                            "pruned: knob subset 0x%02x already "
+                            "regressed every objective",
+                            *culprit));
+                        continue;
+                    }
+                    if (evaluated
+                            + static_cast<std::int64_t>(to_eval.size())
+                            + (default_pending ? 1 : 0)
+                        >= cap) {
+                        candidate.pruned = true;
+                        candidate.status = failedPrecondition(strformat(
+                            "pruned: search budget (%lld evaluations) "
+                            "exhausted",
+                            static_cast<long long>(cap)));
+                        continue;
+                    }
+                }
+                to_eval.push_back(index);
+            }
+            if (pool.has_value()) {
+                for (std::size_t index : to_eval) {
+                    TuneCandidate &candidate = result.candidates[index];
+                    pool->submit(
+                        [this, &graph, &arch, &candidate, &cache_hits] {
+                            evaluateCandidate(graph, arch, candidate,
+                                              config_.cache, cache_hits);
+                        });
+                }
+                pool->wait();
+            } else {
+                for (std::size_t index : to_eval)
+                    evaluateCandidate(graph, arch,
+                                      result.candidates[index],
+                                      config_.cache, cache_hits);
+            }
+            evaluated += static_cast<std::int64_t>(to_eval.size());
+            for (std::size_t index : to_eval) {
+                const TuneCandidate &candidate = result.candidates[index];
+                pruner.record(candidate.encoding,
+                              MetricPoint{candidate.latency_cycles,
+                                          candidate.energy_pj},
+                              candidate.status.isOk());
+            }
+        }
+        result.evaluated_count = evaluated;
+        result.pruned_count =
+            static_cast<std::int64_t>(result.candidates.size())
+            - evaluated;
     }
     result.cache_hits = cache_hits.load();
 

@@ -29,9 +29,19 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "search/search_budget.h"
 #include "sched/options.h"
 
 namespace cimmlc {
+
+//! Candidate-encoding bits that are on/off optimization toggles (the
+//! CG/MVM/VVM knobs) — the "enabled-knob set" dominance pruning orders
+//! candidates by (search/dominance.h).
+constexpr std::uint32_t kTuneKnobMask = 0x1Fu;
+//! Encoding bits that are a choice, not a toggle (dimension binding and
+//! the segmentation-cap field): pruning only compares candidates that
+//! agree on them.
+constexpr std::uint32_t kTuneContextMask = 0xE0u;
 
 /** What the tuner minimizes. */
 enum class TuneObjective {
@@ -52,6 +62,9 @@ struct TuneCandidate {
     double latency_cycles = 0.0;
     double energy_pj = 0.0;
     double edp = 0.0; //!< latency_cycles * energy_pj
+    //! skipped by the budgeted search (dominance pruning or budget
+    //! exhaustion); status carries the reason, metrics are invalid
+    bool pruned = false;
 
     double objectiveValue(TuneObjective objective) const;
 };
@@ -64,6 +77,11 @@ struct TuneResult {
     std::size_t best_index = 0;
     std::size_t default_index = 0; //!< ScheduleOptions{} defaults
     std::int64_t cache_hits = 0;   //!< memoized evaluations this run
+    //! candidates actually evaluated (== candidates.size() when not
+    //! budgeted; pruning can only ever shrink it)
+    std::int64_t evaluated_count = 0;
+    std::int64_t pruned_count = 0; //!< candidates skipped by the budget
+    SearchBudget budget;           //!< the budget this run searched under
 
     const TuneCandidate &best() const { return candidates[best_index]; }
     const TuneCandidate &defaults() const
@@ -135,7 +153,8 @@ class TuneCache
      */
     static std::string fingerprint(const Graph &graph,
                                    const CimArchitecture &arch,
-                                   std::uint32_t encoding);
+                                   std::uint32_t encoding,
+                                   const SearchFidelity &fidelity = {});
 
   private:
     mutable std::mutex mutex_;
@@ -148,6 +167,21 @@ struct AutoTuneConfig {
     TuneObjective objective = TuneObjective::kLatency;
     int threads = 0;          //!< 0 = hardware concurrency, 1 = serial
     TuneCache *cache = nullptr; //!< optional shared memo (not owned)
+    /**
+     * Evaluation budget. When enabled, candidates are evaluated in
+     * deterministic waves (ascending enabled-knob count, then
+     * encoding) with dominance pruning between waves — a candidate is
+     * skipped when an evaluated configuration using a subset of its
+     * knobs already regressed every objective component against its
+     * own sub-configurations — and max_full_evals is a hard ceiling on
+     * the total evaluations. One slot inside the cap stays reserved
+     * for the default configuration, which is always evaluated so
+     * speedup reporting keeps its baseline. The proxy-fidelity fields
+     * of the budget are explorer-only; the tuner ignores them. Wave
+     * decisions depend only on completed waves, so results stay
+     * byte-identical across thread counts.
+     */
+    SearchBudget budget;
 };
 
 /**

@@ -1,0 +1,130 @@
+#include "search/dominance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cimmlc {
+
+bool
+strictlyDominates(const MetricPoint &a, const MetricPoint &b)
+{
+    return a.latency_cycles <= b.latency_cycles
+           && a.energy_pj <= b.energy_pj
+           && (a.latency_cycles < b.latency_cycles
+               || a.energy_pj < b.energy_pj);
+}
+
+void
+DominancePruner::record(std::uint32_t encoding,
+                        const MetricPoint &metrics, bool feasible)
+{
+    if (!feasible)
+        return;
+    // Condemnation is symmetric in arrival order: check the newcomer
+    // against every chain partner below AND above it, so the verdict
+    // depends only on the recorded set, never on recording order. The
+    // bar is strict Pareto dominance by the sub-configuration — the
+    // added knobs regressed at least one objective component without
+    // improving any — so metric-identical no-op knobs never condemn.
+    for (const auto &[other, other_metrics] : evaluated_) {
+        if (order_.below(other, encoding)
+            && strictlyDominates(other_metrics, metrics))
+            condemned_.insert(encoding);
+        if (order_.below(encoding, other)
+            && strictlyDominates(metrics, other_metrics))
+            condemned_.insert(other);
+    }
+    evaluated_.emplace(encoding, metrics);
+}
+
+std::optional<std::uint32_t>
+DominancePruner::shouldPrune(std::uint32_t encoding) const
+{
+    // std::set iterates ascending, so the reported culprit is the
+    // lowest condemned encoding below the candidate — stable output
+    // for the provenance column regardless of recording interleaving.
+    for (std::uint32_t condemned : condemned_) {
+        if (order_.below(condemned, encoding))
+            return condemned;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t>
+paretoRanks(const std::vector<SearchPoint> &points)
+{
+    constexpr std::size_t kInfeasible =
+        std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> ranks(points.size(), kInfeasible);
+    std::vector<bool> assigned(points.size(), false);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].feasible)
+            assigned[i] = true;
+    }
+    std::size_t rank = 0;
+    for (;;) {
+        std::vector<std::size_t> layer;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (assigned[i])
+                continue;
+            bool dominated = false;
+            for (std::size_t j = 0; j < points.size(); ++j) {
+                if (j == i || assigned[j])
+                    continue;
+                if (strictlyDominates(points[j].metrics,
+                                      points[i].metrics)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated)
+                layer.push_back(i);
+        }
+        if (layer.empty())
+            break;
+        for (std::size_t i : layer) {
+            ranks[i] = rank;
+            assigned[i] = true;
+        }
+        ++rank;
+    }
+    return ranks;
+}
+
+std::vector<std::size_t>
+selectSurvivors(const std::vector<SearchPoint> &points, std::int64_t keep)
+{
+    const std::vector<std::size_t> ranks = paretoRanks(points);
+    std::vector<std::size_t> order;
+    order.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].feasible)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&points, &ranks](std::size_t a, std::size_t b) {
+                  if (ranks[a] != ranks[b])
+                      return ranks[a] < ranks[b];
+                  if (points[a].objective != points[b].objective)
+                      return points[a].objective < points[b].objective;
+                  const double edp_a = points[a].metrics.latency_cycles
+                                       * points[a].metrics.energy_pj;
+                  const double edp_b = points[b].metrics.latency_cycles
+                                       * points[b].metrics.energy_pj;
+                  if (edp_a != edp_b)
+                      return edp_a < edp_b;
+                  return points[a].id < points[b].id;
+              });
+    if (keep < 0)
+        keep = 0;
+    if (order.size() > static_cast<std::size_t>(keep))
+        order.resize(static_cast<std::size_t>(keep));
+    std::vector<std::size_t> survivors;
+    survivors.reserve(order.size());
+    for (std::size_t i : order)
+        survivors.push_back(points[i].id);
+    std::sort(survivors.begin(), survivors.end());
+    return survivors;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,77 @@
+#include "search/halving.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+std::string
+HalvingSchedule::toString() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+        if (i > 0)
+            out += " -> ";
+        out += strformat("%lld", static_cast<long long>(rungs[i]));
+    }
+    if (rungs.size() > 1)
+        out += " (full)";
+    return out;
+}
+
+StatusOr<HalvingSchedule>
+makeHalvingSchedule(std::int64_t total, std::int64_t budget)
+{
+    if (total < 0)
+        return invalidArgument("halving schedule: candidate count must "
+                               "be >= 0");
+    HalvingSchedule schedule;
+    schedule.rungs.push_back(total);
+    if (budget <= 0 || budget >= total)
+        return schedule;
+    std::int64_t size = total;
+    while (size > budget) {
+        size = std::max(budget, (size + 1) / 2);
+        schedule.rungs.push_back(size);
+    }
+    return schedule;
+}
+
+SearchFidelity
+proxyFidelity(const SearchBudget &budget, std::int64_t compute_nodes,
+              std::size_t rung, std::size_t proxy_rungs)
+{
+    CIMMLC_CHECK(rung < proxy_rungs)
+        << "proxy fidelity requested for rung " << rung << " of "
+        << proxy_rungs;
+    SearchFidelity fidelity;
+    fidelity.forced_opt_none = budget.proxy_opt_none;
+    if (budget.proxy_prefix_fraction > 0.0 && compute_nodes > 0) {
+        // Fidelity ladder: rung r sees fraction f + (1-f) * r / R of
+        // the compute nodes, so the first rung is the configured
+        // cheapest prefix and later rungs converge toward (but never
+        // reach) the full workload.
+        const double f = budget.proxy_prefix_fraction;
+        const double fraction =
+            f
+            + (1.0 - f) * static_cast<double>(rung)
+                  / static_cast<double>(proxy_rungs);
+        std::int64_t nodes = static_cast<std::int64_t>(
+            std::ceil(fraction * static_cast<double>(compute_nodes)));
+        if (nodes < 1)
+            nodes = 1;
+        // A proxy must stay cheaper than full fidelity: ceil can round
+        // a late rung up to the whole workload, which would pay full
+        // session cost twice (tagged as proxy, then again at the final
+        // rung). Hold the prefix strictly below the graph whenever the
+        // graph has more than one compute node.
+        if (nodes >= compute_nodes)
+            nodes = compute_nodes > 1 ? compute_nodes - 1 : 1;
+        fidelity.prefix_nodes = nodes;
+    }
+    return fidelity;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Successive halving schedules: how a budgeted sweep splits its
+ * candidates into rungs of cheap-proxy evaluation before promoting the
+ * surviving fraction to full fidelity — the staged cheap-then-promote
+ * strategy Timeloop-style mappers and MNSIM-style CIM frameworks use
+ * to keep design-space exploration tractable.
+ *
+ * A schedule is a non-increasing sequence of rung sizes
+ *
+ *   total = n_0 > n_1 > ... > n_k = budget
+ *
+ * where rungs 0..k-1 evaluate their candidates on a proxy fidelity
+ * (search/search_budget.h) and the final n_k survivors receive full
+ * evaluation. Halving each step, clamped at the budget, so the proxy
+ * work is O(total) while full-fidelity work is exactly the budget.
+ */
+#ifndef CIMMLC_SEARCH_HALVING_H
+#define CIMMLC_SEARCH_HALVING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/search_budget.h"
+
+namespace cimmlc {
+
+/** The rung ladder of one budgeted sweep. */
+struct HalvingSchedule {
+    //! rung sizes, non-increasing; front() = all candidates,
+    //! back() = the full-evaluation count
+    std::vector<std::int64_t> rungs;
+
+    /** Rungs evaluated at proxy fidelity (all but the last). */
+    std::size_t
+    proxyRungCount() const
+    {
+        return rungs.size() <= 1 ? 0 : rungs.size() - 1;
+    }
+
+    /** Candidates promoted to full evaluation. */
+    std::int64_t
+    fullEvalCount() const
+    {
+        return rungs.empty() ? 0 : rungs.back();
+    }
+
+    /** "18 -> 9 -> full" style render. */
+    std::string toString() const;
+};
+
+/**
+ * Builds the rung ladder for @p total candidates under @p budget full
+ * evaluations. A disabled budget (<= 0) or one at/above @p total
+ * returns the single-rung exhaustive schedule {total}. Sizes halve
+ * (rounding up) until they reach the budget.
+ */
+StatusOr<HalvingSchedule> makeHalvingSchedule(std::int64_t total,
+                                              std::int64_t budget);
+
+/**
+ * The proxy fidelity rung @p rung of @p proxy_rungs evaluates at, for
+ * a workload of @p compute_nodes non-input operators. With a prefix
+ * fraction configured, earlier rungs see shorter topological prefixes
+ * and later rungs approach the full workload, so promotion decisions
+ * sharpen as the field narrows; without one every proxy rung prices
+ * the whole graph (under forced `opt=none` when configured).
+ *
+ * @pre rung < proxy_rungs
+ */
+SearchFidelity proxyFidelity(const SearchBudget &budget,
+                             std::int64_t compute_nodes, std::size_t rung,
+                             std::size_t proxy_rungs);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_SEARCH_HALVING_H

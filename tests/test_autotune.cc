@@ -366,6 +366,59 @@ TEST(TuneCacheTest, DifferentArchesDoNotCollide)
               on_tutorial.value().best().latency_cycles);
 }
 
+// ----- regression pin: proxy fingerprints never alias full ones ----------
+
+TEST(TuneCacheTest, ProxyFidelityNeverAliasesFullEvaluations)
+{
+    // A halving rung evaluates the same (graph, arch, options) point at
+    // proxy fidelity (workload prefix and/or forced opt=none). Its memo
+    // key must differ from the full evaluation's, for every proxy mode,
+    // or a warm cache would poison full runs with proxy metrics.
+    const Graph graph = models::byName("lenet5");
+    const CimArchitecture arch = presets::byName("jain").value();
+    const std::uint32_t encoding =
+        AutoTuner::encodeOptions(ScheduleOptions::none());
+
+    const std::string full =
+        TuneCache::fingerprint(graph, arch, encoding);
+    SearchFidelity prefix;
+    prefix.prefix_nodes = 4;
+    SearchFidelity opt_none;
+    opt_none.forced_opt_none = true;
+    SearchFidelity both = prefix;
+    both.forced_opt_none = true;
+    const std::string with_prefix =
+        TuneCache::fingerprint(graph, arch, encoding, prefix);
+    const std::string with_opt_none =
+        TuneCache::fingerprint(graph, arch, encoding, opt_none);
+    const std::string with_both =
+        TuneCache::fingerprint(graph, arch, encoding, both);
+
+    EXPECT_NE(full, with_prefix);
+    EXPECT_NE(full, with_opt_none);
+    EXPECT_NE(full, with_both);
+    EXPECT_NE(with_prefix, with_opt_none);
+    EXPECT_NE(with_prefix, with_both);
+    EXPECT_NE(with_opt_none, with_both);
+    // Distinct prefix lengths are distinct fidelities.
+    SearchFidelity longer = prefix;
+    longer.prefix_nodes = 5;
+    EXPECT_NE(with_prefix,
+              TuneCache::fingerprint(graph, arch, encoding, longer));
+    // The default fidelity is the full evaluation: byte-identical key,
+    // so every pre-budget cache file stays valid.
+    EXPECT_EQ(full,
+              TuneCache::fingerprint(graph, arch, encoding,
+                                     SearchFidelity{}));
+
+    // End to end: a proxy entry in a warm cache is invisible to the
+    // full-fidelity lookup path.
+    TuneCache cache;
+    cache.insert(with_prefix,
+                 TuneCache::Entry{Status::ok(), 1.0, 1.0, 1.0});
+    EXPECT_FALSE(cache.lookup(full).has_value());
+}
+
 // ----- regression pin: tuned never worse than the defaults ---------------
 
 TEST(TuneRegressionTest, TunedNeverWorseThanDefaultOptions)
