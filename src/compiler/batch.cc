@@ -18,6 +18,8 @@ struct TuneContext {
     TuneObjective objective = TuneObjective::kLatency;
     TuneCache *cache = nullptr; //!< nullptr = tuning disabled
     SearchBudget budget;        //!< per-job tuner evaluation budget
+    bool lint = false;          //!< run mopcheck on each job's flow
+    bool lint_strict = false;   //!< lint errors fail the job
 };
 
 /** Runs one job into @p entry; never throws or aborts on bad names. */
@@ -40,14 +42,22 @@ compileJob(const BatchJob &job, const ScheduleOptions &options,
         request.search_budget = tune.budget;
         request.threads = 1;
     }
+    request.lint = tune.lint;
+    request.lint_strict = tune.lint_strict;
 
     CompilerSession session(std::move(request));
-    // Identity facts survive in the entry even when a later stage fails.
+    // Identity facts survive in the entry even when a later stage fails
+    // (a strict lint failure still reports its finding counts).
     session.setObserver([&entry](const StageTrace &trace,
                                  const CompileArtifacts &artifacts) {
         if (trace.stage == CompileStage::kLoad && trace.status.isOk()) {
             entry.nodes = artifacts.nodes;
             entry.weights = artifacts.weights;
+        }
+        if (trace.stage == CompileStage::kLint
+            && artifacts.lint.has_value()) {
+            entry.lint_errors = artifacts.lint->errors();
+            entry.lint_warnings = artifacts.lint->warnings();
         }
     });
     auto artifacts = session.run();
@@ -79,26 +89,57 @@ BatchResult::okCount() const
 std::string
 BatchResult::table() const
 {
-    TextTable table({"model", "arch", "latency (cyc)", "energy (pJ)",
-                     "avg power (mW)", "xbar util", "flow ops", "config",
-                     "status"});
+    // The lint column only appears when some job ran mopcheck, so
+    // non-linting sweeps keep their historical table shape.
+    bool linted = false;
+    for (const BatchEntry &entry : entries)
+        linted = linted || entry.lint_errors >= 0;
+
+    std::vector<std::string> header{"model", "arch", "latency (cyc)",
+                                    "energy (pJ)", "avg power (mW)",
+                                    "xbar util", "flow ops"};
+    if (linted)
+        header.push_back("lint");
+    header.push_back("config");
+    header.push_back("status");
+
+    TextTable table(header);
     for (const BatchEntry &entry : entries) {
-        if (entry.status.isOk()) {
-            table.addRow({entry.job.model, entry.job.arch,
-                          strformat("%.6g", entry.perf.latency_cycles),
-                          strformat("%.6g", entry.perf.energy.total()),
-                          strformat("%.4g", entry.perf.avg_power_mw),
-                          strformat("%.1f%%",
-                                    entry.perf.crossbar_utilization * 100.0),
-                          strformat("%lld", static_cast<long long>(
-                                                entry.flow_statements)),
-                          entry.tuned ? "tuned: " + entry.config
-                                      : entry.config,
-                          "ok"});
-        } else {
-            table.addRow({entry.job.model, entry.job.arch, "-", "-", "-",
-                          "-", "-", "-", entry.status.toString()});
+        std::string lint = "-";
+        if (entry.lint_errors >= 0) {
+            lint = entry.lint_errors == 0 && entry.lint_warnings == 0
+                       ? "clean"
+                       : strformat("%lldE/%lldW",
+                                   static_cast<long long>(
+                                       entry.lint_errors),
+                                   static_cast<long long>(
+                                       entry.lint_warnings));
         }
+        std::vector<std::string> row;
+        if (entry.status.isOk()) {
+            row = {entry.job.model, entry.job.arch,
+                   strformat("%.6g", entry.perf.latency_cycles),
+                   strformat("%.6g", entry.perf.energy.total()),
+                   strformat("%.4g", entry.perf.avg_power_mw),
+                   strformat("%.1f%%",
+                             entry.perf.crossbar_utilization * 100.0),
+                   strformat("%lld",
+                             static_cast<long long>(
+                                 entry.flow_statements))};
+            if (linted)
+                row.push_back(lint);
+            row.push_back(entry.tuned ? "tuned: " + entry.config
+                                      : entry.config);
+            row.push_back("ok");
+        } else {
+            row = {entry.job.model, entry.job.arch, "-", "-", "-", "-",
+                   "-"};
+            if (linted)
+                row.push_back(lint);
+            row.push_back("-");
+            row.push_back(entry.status.toString());
+        }
+        table.addRow(row);
     }
     return table.render();
 }
@@ -116,8 +157,8 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
     // pair reuse every candidate evaluation. Cached values are
     // bit-identical to fresh ones, so hits cannot perturb the output.
     TuneCache cache;
-    const TuneContext tune{objective_, tune_ ? &cache : nullptr,
-                           budget_};
+    const TuneContext tune{objective_, tune_ ? &cache : nullptr, budget_,
+                           lint_, lint_strict_};
 
     if (threads_ == 1) {
         // Serial reference path: the determinism tests compare against it.
@@ -213,6 +254,8 @@ sweepFromConfig(const ConfigValue &doc)
             return budget.status().withContext("sweep 'budget'");
         sweep.budget = budget.value();
     }
+    sweep.lint_strict = doc.getBoolOr("lint_strict", false);
+    sweep.lint = doc.getBoolOr("lint", false) || sweep.lint_strict;
     return sweep;
 }
 

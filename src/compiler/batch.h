@@ -45,6 +45,9 @@ struct BatchEntry {
     std::int64_t flow_statements = 0; //!< emitted meta-operator count
     std::string config;       //!< ScheduleOptions the job compiled with
     bool tuned = false;       //!< config came from the auto-tuner
+    //! mopcheck findings; -1 = the lint stage did not run for this job
+    std::int64_t lint_errors = -1;
+    std::int64_t lint_warnings = -1;
 };
 
 /** Aggregated sweep results, in job-submission order. */
@@ -68,6 +71,8 @@ struct BatchSweep {
     //! per-job tuner evaluation budget ("budget": N or object); enables
     //! dominance pruning when tuning (see search/search_budget.h)
     SearchBudget budget;
+    bool lint = false;        //!< mopcheck each job's flow ("lint": true)
+    bool lint_strict = false; //!< lint errors fail the job ("lint_strict")
 };
 
 /**
@@ -116,6 +121,21 @@ class BatchCompiler
     const SearchBudget &searchBudget() const { return budget_; }
 
     /**
+     * Runs mopcheck (mop/analyzer.h) on every job's emitted flow; the
+     * per-job finding counts land in BatchEntry and the result table
+     * grows a "lint" column. With @p strict, any error-severity finding
+     * fails that job (the sweep itself still completes).
+     */
+    void
+    setLint(bool enabled, bool strict = false)
+    {
+        lint_ = enabled || strict;
+        lint_strict_ = strict;
+    }
+    bool linting() const { return lint_; }
+    bool lintStrict() const { return lint_strict_; }
+
+    /**
      * Runs every job; per-job failures (unknown name, infeasible
      * mapping) are recorded in the entry, not propagated. Entries are
      * always in @p jobs order regardless of thread timing. The call
@@ -138,6 +158,8 @@ class BatchCompiler
     bool tune_ = false;
     TuneObjective objective_ = TuneObjective::kLatency;
     SearchBudget budget_;
+    bool lint_ = false;
+    bool lint_strict_ = false;
 };
 
 /**
@@ -150,7 +172,9 @@ class BatchCompiler
  *     "threads": 0,                     # 0 = hardware concurrency
  *     "tune": false,                    # auto-tune each job's options
  *     "objective": "latency",           # latency | energy | edp
- *     "budget": 64                      # tuner evaluation budget
+ *     "budget": 64,                     # tuner evaluation budget
+ *     "lint": false,                    # mopcheck each job's flow
+ *     "lint_strict": false              # lint errors fail the job
  *   }
  * @endcode
  *

@@ -28,6 +28,10 @@
  *   --print-flow [N]    print the meta-operator flow (first N stmts)
  *   --print-schedule    print the per-operator mapping report
  *   --verify            unroll, execute, and check against the oracle
+ *   --lint              run mopcheck (dataflow static analysis) over
+ *                       the emitted flow and print the findings
+ *   --lint-strict       like --lint, but any error-severity finding
+ *                       fails the compile (nonzero exit)
  *   --report FORMAT     text (default) | json — json serializes the
  *                       full CompileArtifacts / DSE record as kvjson
  *   --batch PATH        compile a models x archs sweep concurrently
@@ -89,6 +93,8 @@ struct CliArgs {
     std::int64_t flow_limit = 40;
     bool print_schedule = false;
     bool verify = false;
+    bool lint = false;
+    bool lint_strict = false;
 };
 
 void
@@ -102,12 +108,13 @@ printUsage(std::FILE *out, const char *argv0)
         "[--autotune-verbose]]\n"
         "          [--search-budget N] [--threads N] [--serial]\n"
         "          [--print-flow [N]] [--print-schedule] [--verify]\n"
-        "          [--report text|json]\n"
+        "          [--lint | --lint-strict] [--report text|json]\n"
         "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
         "[--objective NAME]\n"
-        "          [--search-budget N] [--threads N] [--serial]\n"
+        "          [--search-budget N] [--threads N] [--serial] "
+        "[--lint | --lint-strict]\n"
         "       %s --arch-dse SPEC.json [--objective NAME] "
-        "[--tune-cache PATH]\n"
+        "[--tune-cache PATH] [--lint]\n"
         "          [--search-budget N] [--threads N] [--serial] "
         "[--report text|json]\n"
         "          [--check-kvjson PATH]\n"
@@ -192,6 +199,8 @@ runBatch(const CliArgs &args)
     BatchCompiler batch(options, threads);
     batch.setTuning(tune, objective);
     batch.setSearchBudget(budget);
+    batch.setLint(args.lint || sweep.value().lint,
+                  args.lint_strict || sweep.value().lint_strict);
     auto result = batch.run(sweep.value().jobs);
     if (!result.isOk()) {
         std::fprintf(stderr, "batch failed: %s\n",
@@ -282,6 +291,10 @@ runDse(const CliArgs &args)
         spec.value().threads = args.threads;
     if (args.serial)
         spec.value().threads = 1;
+    // DSE lint is always strict per candidate: a flow with error
+    // findings marks that design infeasible.
+    if (args.lint)
+        spec.value().lint = true;
     // The flag overrides the spec's evaluation cap but keeps its proxy
     // fidelity settings, so a spec can pin e.g. opt=none proxies while
     // CI varies the budget.
@@ -356,6 +369,8 @@ runSingle(const CliArgs &args)
     request.outputs.flow_text = args.print_flow;
     request.outputs.flow_limit = args.flow_limit;
     request.outputs.verify = args.verify;
+    request.lint = args.lint;
+    request.lint_strict = args.lint_strict;
 
     CompilerSession session(std::move(request));
     if (!json) {
@@ -363,6 +378,15 @@ runSingle(const CliArgs &args)
         // so slow runs show progress instead of buffering everything.
         session.setObserver([&args](const StageTrace &trace,
                                     const CompileArtifacts &artifacts) {
+            if (trace.stage == CompileStage::kLint
+                && artifacts.lint.has_value()) {
+                // Printed before the status check so a --lint-strict
+                // failure still shows what mopcheck found.
+                std::printf("lint: %s\n",
+                            artifacts.lint->summary().c_str());
+                if (!artifacts.lint->diagnostics.empty())
+                    std::fputs(artifacts.lint->table().c_str(), stdout);
+            }
             if (!trace.status.isOk())
                 return;
             if (trace.stage == CompileStage::kLoad) {
@@ -551,6 +575,11 @@ main(int argc, char **argv)
             args.print_schedule = true;
         } else if (flag == "--verify") {
             args.verify = true;
+        } else if (flag == "--lint") {
+            args.lint = true;
+        } else if (flag == "--lint-strict") {
+            args.lint = true;
+            args.lint_strict = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             return usage(argv[0]);

@@ -22,6 +22,7 @@ compileStageName(CompileStage stage)
       case CompileStage::kTune: return "tune";
       case CompileStage::kSchedule: return "schedule";
       case CompileStage::kCodegen: return "codegen";
+      case CompileStage::kLint: return "lint";
       case CompileStage::kPerf: return "perf";
       case CompileStage::kVerify: return "verify";
     }
@@ -35,14 +36,15 @@ parseCompileStage(const std::string &text)
     for (CompileStage stage :
          {CompileStage::kLoad, CompileStage::kValidate, CompileStage::kTune,
           CompileStage::kSchedule, CompileStage::kCodegen,
-          CompileStage::kPerf, CompileStage::kVerify}) {
+          CompileStage::kLint, CompileStage::kPerf,
+          CompileStage::kVerify}) {
         if (key == compileStageName(stage))
             return stage;
     }
     return invalidArgument(
         "unknown compile stage '" + text
         + "' (expected load | validate | tune | schedule | codegen | "
-          "perf | verify)");
+          "lint | perf | verify)");
 }
 
 StatusOr<ScheduleOptions>
@@ -109,6 +111,11 @@ CompileRequest::validate() const
     if (workload_prefix_nodes < 0)
         return invalidArgument(
             "workload_prefix_nodes must be >= 0 (0 = whole graph)");
+    if (lint_strict && !lint)
+        return invalidArgument("lint_strict requires lint");
+    if (lint && !outputs.flow)
+        return invalidArgument(
+            "lint needs the meta-operator flow (outputs.flow)");
     CIMMLC_RETURN_IF_ERROR(
         search_budget.validate().withContext("search_budget"));
     return Status::ok();
@@ -235,6 +242,19 @@ CompileArtifacts::toConfig() const
         doc["flow"] = ConfigValue::makeObject(std::move(flow_obj));
     }
 
+    if (lint.has_value()) {
+        ConfigValue::Object lint_obj;
+        lint_obj["errors"] = number(lint->errors());
+        lint_obj["warnings"] = number(lint->warnings());
+        lint_obj["statements"] = number(lint->statements);
+        lint_obj["l0_peak_live_elems"] = number(lint->l0_peak_live_elems);
+        lint_obj["l1_peak_live_elems"] = number(lint->l1_peak_live_elems);
+        lint_obj["crossbars_programmed"] =
+            number(lint->crossbars_programmed);
+        lint_obj["diagnostics"] = diagnosticsToConfig(lint->diagnostics);
+        doc["lint"] = ConfigValue::makeObject(std::move(lint_obj));
+    }
+
     if (!schedule_report.empty())
         doc["schedule_report"] = text(schedule_report);
 
@@ -273,6 +293,7 @@ CompilerSession::stageEnabled(CompileStage stage) const
     switch (stage) {
       case CompileStage::kTune: return request_.tune;
       case CompileStage::kCodegen: return request_.outputs.flow;
+      case CompileStage::kLint: return request_.lint;
       case CompileStage::kPerf: return request_.outputs.perf;
       case CompileStage::kVerify: return request_.outputs.verify;
       default: return true;
@@ -401,6 +422,48 @@ CompilerSession::stageCodegen(CompileArtifacts &artifacts,
 }
 
 Status
+CompilerSession::stageLint(CompileArtifacts &artifacts, std::string &detail)
+{
+    AnalyzeOptions options;
+    // Compressed flows emit one template window inside repeat blocks;
+    // restrict mopcheck to the checks that stay sound there.
+    options.executable = artifacts.code->executable;
+    // Codegen assigns tensor offsets in a virtual L0 space (the global
+    // buffer is off-chip-backed; l0_size_kib prices bandwidth/energy),
+    // so the physical L0 bound does not apply to emitted flows.
+    options.validate.enforce_l0_capacity = false;
+    // When a model does not fit the array, codegen deliberately emits
+    // runtime weight reloads; the perf model prices them. That is a
+    // capacity decision, not a program defect, so the device write
+    // policy is advisory for emitted flows.
+    options.validate.enforce_write_policy = false;
+    // Graph inputs are loaded into L0 by the host before the flow runs.
+    for (TensorId input : graph_->inputs()) {
+        auto it = artifacts.code->tensor_offsets.find(input);
+        if (it == artifacts.code->tensor_offsets.end())
+            continue;
+        LiveInRegion region;
+        region.space = MemSpace::kL0;
+        region.begin = it->second;
+        region.end = it->second + graph_->tensor(input).numel();
+        options.live_in.push_back(region);
+    }
+    artifacts.lint =
+        analyzeProgram(artifacts.code->program, *arch_, options);
+    detail = artifacts.lint->summary();
+    if (request_.lint_strict && artifacts.lint->errors() > 0) {
+        const Status first = firstError(artifacts.lint->diagnostics);
+        return Status(StatusCode::kFailedPrecondition,
+                      strformat("mopcheck found %lld error findings "
+                                "(first: %s)",
+                                static_cast<long long>(
+                                    artifacts.lint->errors()),
+                                first.message().c_str()));
+    }
+    return Status::ok();
+}
+
+Status
 CompilerSession::stagePerf(CompileArtifacts &artifacts, std::string &detail)
 {
     CIMMLC_ASSIGN_OR_RETURN(
@@ -448,6 +511,9 @@ CompilerSession::runStage(CompileStage stage, CompileArtifacts &artifacts)
       case CompileStage::kCodegen:
         trace.status = stageCodegen(artifacts, trace.detail);
         break;
+      case CompileStage::kLint:
+        trace.status = stageLint(artifacts, trace.detail);
+        break;
       case CompileStage::kPerf:
         trace.status = stagePerf(artifacts, trace.detail);
         break;
@@ -485,7 +551,8 @@ CompilerSession::run()
     for (CompileStage stage :
          {CompileStage::kLoad, CompileStage::kValidate, CompileStage::kTune,
           CompileStage::kSchedule, CompileStage::kCodegen,
-          CompileStage::kPerf, CompileStage::kVerify}) {
+          CompileStage::kLint, CompileStage::kPerf,
+          CompileStage::kVerify}) {
         if (stageEnabled(stage))
             CIMMLC_RETURN_IF_ERROR(runStage(stage, artifacts));
         if (stage == request_.stop_after)

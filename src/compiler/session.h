@@ -11,7 +11,8 @@
  * auto-tuning, the thread budget, and which artifacts to materialize.
  * CompilerSession runs the paper's Figure 3 flow as named stages
  *
- *   load -> validate -> tune? -> schedule -> codegen -> perf -> verify?
+ *   load -> validate -> tune? -> schedule -> codegen -> lint? -> perf
+ *        -> verify?
  *
  * through a small stage runner that records per-stage wall time and a
  * structured diagnostic line into CompileArtifacts, supports stopping
@@ -42,6 +43,7 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "graph/graph.h"
+#include "mop/analyzer.h"
 #include "perfsim/perf_model.h"
 #include "funcsim/verify.h"
 #include "search/search_budget.h"
@@ -59,6 +61,7 @@ enum class CompileStage {
     kTune,     //!< optional schedule auto-tuning (request.tune)
     kSchedule, //!< multi-level scheduling
     kCodegen,  //!< meta-operator flow generation (outputs.flow)
+    kLint,     //!< mopcheck dataflow analysis of the flow (request.lint)
     kPerf,     //!< analytic performance evaluation (outputs.perf)
     kVerify,   //!< bit-exact functional verification (outputs.verify)
 };
@@ -139,6 +142,15 @@ struct CompileRequest {
     //! worker threads for the tune stage (0 = hardware concurrency)
     int threads = 0;
 
+    // ----- static analysis (mopcheck) ------------------------------------
+    //! run the mopcheck lint stage over the emitted flow (needs
+    //! outputs.flow); findings land in CompileArtifacts::lint
+    bool lint = false;
+    //! fail the lint stage (nonzero session status) when mopcheck
+    //! reports any error-severity finding; implies nothing extra when
+    //! the flow is clean
+    bool lint_strict = false;
+
     //! last stage to run; subsumes the old scheduleOnly entry point
     CompileStage stop_after = CompileStage::kVerify;
 
@@ -179,6 +191,7 @@ struct CompileArtifacts {
 
     std::optional<Schedule> schedule;
     std::optional<CodegenResult> code;
+    std::optional<AnalyzeResult> lint;
     std::optional<PerfReport> perf;
     std::optional<VerifyReport> verify;
 
@@ -252,6 +265,7 @@ class CompilerSession
     Status stageTune(CompileArtifacts &artifacts, std::string &detail);
     Status stageSchedule(CompileArtifacts &artifacts, std::string &detail);
     Status stageCodegen(CompileArtifacts &artifacts, std::string &detail);
+    Status stageLint(CompileArtifacts &artifacts, std::string &detail);
     Status stagePerf(CompileArtifacts &artifacts, std::string &detail);
     Status stageVerify(CompileArtifacts &artifacts, std::string &detail);
 

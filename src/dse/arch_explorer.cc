@@ -83,6 +83,13 @@ evaluateCandidate(const Graph &graph, const DseSpec &spec,
             request.options = spec.options;
         }
         request.outputs.flow = false;
+        if (spec.lint) {
+            // Gate feasibility on mopcheck: the flow is emitted and
+            // linted, and any error finding fails this candidate.
+            request.outputs.flow = true;
+            request.lint = true;
+            request.lint_strict = true;
+        }
         request.stop_after = CompileStage::kPerf;
         CompilerSession session(std::move(request));
         CIMMLC_ASSIGN_OR_RETURN(const CompileArtifacts artifacts,
@@ -214,6 +221,7 @@ dseSpecFromConfig(const ConfigValue &doc)
     spec.opt = doc.getStringOr("opt", "full");
     CIMMLC_ASSIGN_OR_RETURN(spec.options, scheduleOptionsByName(spec.opt));
     spec.tune = doc.getBoolOr("tune", false);
+    spec.lint = doc.getBoolOr("lint", false);
     CIMMLC_ASSIGN_OR_RETURN(
         spec.objective,
         parseTuneObjective(doc.getStringOr("objective", "latency")));
@@ -373,6 +381,7 @@ ArchExplorer::explore(TuneCache *cache) const
     result.weights = graph.totalWeights();
     result.base_arch = spec_.base_arch.name;
     result.tuned = spec_.tune;
+    result.lint = spec_.lint;
     result.budget = spec_.budget;
     result.candidates = enumerate();
 
@@ -395,6 +404,10 @@ ArchExplorer::explore(TuneCache *cache) const
         keys[candidate.index] = TuneCache::fingerprint(
             graph, candidate.arch,
             spec_.tune ? 0u : AutoTuner::encodeOptions(spec_.options));
+        // Linted evaluations gate feasibility on mopcheck, so their
+        // memo entries must never alias unlinted ones.
+        if (spec_.lint)
+            keys[candidate.index] += "+lint";
         auto [it, inserted] =
             first_of_key.emplace(keys[candidate.index], candidate.index);
         if (inserted)
@@ -719,6 +732,7 @@ DseResult::toConfig() const
     doc["base_arch"] = text(base_arch);
     doc["objective"] = text(tuneObjectiveName(objective));
     doc["tune"] = ConfigValue::makeBool(tuned);
+    doc["lint"] = ConfigValue::makeBool(lint);
 
     ConfigValue::Array rows;
     for (const DseCandidate &candidate : candidates) {

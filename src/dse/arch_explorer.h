@@ -68,6 +68,16 @@ struct DseSpec {
     int threads = 0; //!< 0 = hardware concurrency, 1 = serial
 
     /**
+     * Gate full-fidelity evaluations on mopcheck (`"lint"` key / CLI
+     * `--lint`): each candidate's emitted flow is linted and any
+     * error-severity finding marks the candidate infeasible, so the
+     * Pareto front only contains designs whose flow passes static
+     * analysis. Proxy rungs are unaffected. Cache fingerprints are
+     * tagged so linted evaluations never alias unlinted ones.
+     */
+    bool lint = false;
+
+    /**
      * Full-fidelity evaluation budget (`"budget"` key / CLI
      * `--search-budget N`). When enabled, explore() runs successive
      * halving (search/halving.h): every candidate is priced on a cheap
@@ -140,6 +150,7 @@ struct DseResult {
     std::int64_t weights = 0;
     std::string base_arch;
     bool tuned = false;
+    bool lint = false; //!< full evaluations were gated on mopcheck
     //! candidates in ascending index order (thread-count independent)
     std::vector<DseCandidate> candidates;
     //! Pareto front, sorted by (latency, energy, index)

@@ -1,0 +1,86 @@
+#include "mop/diagnostics.h"
+
+#include "common/strutil.h"
+#include "common/table.h"
+
+namespace cimmlc {
+
+const char *
+diagSeverityName(DiagSeverity severity)
+{
+    switch (severity) {
+      case DiagSeverity::kWarning:
+        return "warning";
+      case DiagSeverity::kError:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+MopDiagnostic::location() const
+{
+    if (section.empty() || stmt_index < 0)
+        return "program";
+    return strformat("%s:%lld", section.c_str(),
+                     static_cast<long long>(stmt_index));
+}
+
+std::string
+MopDiagnostic::toString() const
+{
+    return strformat("%s[%s] %s: %s", diagSeverityName(severity),
+                     check.c_str(), location().c_str(), message.c_str());
+}
+
+std::int64_t
+countDiagnostics(const std::vector<MopDiagnostic> &diags,
+                 DiagSeverity severity)
+{
+    std::int64_t count = 0;
+    for (const MopDiagnostic &diag : diags)
+        if (diag.severity == severity)
+            ++count;
+    return count;
+}
+
+Status
+firstError(const std::vector<MopDiagnostic> &diags)
+{
+    for (const MopDiagnostic &diag : diags)
+        if (diag.severity == DiagSeverity::kError)
+            return diag.toStatus();
+    return Status::ok();
+}
+
+std::string
+renderDiagnosticsTable(const std::vector<MopDiagnostic> &diags)
+{
+    TextTable table({"severity", "check", "loc", "message"});
+    for (const MopDiagnostic &diag : diags) {
+        table.addRow({diagSeverityName(diag.severity), diag.check,
+                      diag.location(), diag.message});
+    }
+    return table.render();
+}
+
+ConfigValue
+diagnosticsToConfig(const std::vector<MopDiagnostic> &diags)
+{
+    ConfigValue::Array entries;
+    entries.reserve(diags.size());
+    for (const MopDiagnostic &diag : diags) {
+        ConfigValue::Object entry;
+        entry["severity"] =
+            ConfigValue::makeString(diagSeverityName(diag.severity));
+        entry["check"] = ConfigValue::makeString(diag.check);
+        entry["loc"] = ConfigValue::makeString(diag.location());
+        entry["code"] =
+            ConfigValue::makeString(statusCodeName(diag.code));
+        entry["message"] = ConfigValue::makeString(diag.message);
+        entries.push_back(ConfigValue::makeObject(std::move(entry)));
+    }
+    return ConfigValue::makeArray(std::move(entries));
+}
+
+} // namespace cimmlc

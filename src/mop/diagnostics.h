@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Diagnostic records shared by the structural validator and the
+ * dataflow analyzer ("mopcheck"). Unlike the first-error Status
+ * convention used elsewhere, a lint run accumulates every finding so
+ * one pass over a flow reports all problems at once.
+ */
+#ifndef CIMMLC_MOP_DIAGNOSTICS_H
+#define CIMMLC_MOP_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace cimmlc {
+
+/** Finding severity. Errors mean the flow is unsound as emitted. */
+enum class DiagSeverity {
+    kWarning, //!< suspicious but executable (dead store, unused xbar)
+    kError,   //!< unsound: races, use-before-def, capacity overflow
+};
+
+/** "warning" / "error". */
+const char *diagSeverityName(DiagSeverity severity);
+
+/**
+ * One analyzer/validator finding.
+ *
+ * `check` is a stable kebab-case identifier (e.g. "race-write-write",
+ * "use-before-def-xbar", "capacity-l0", "struct-addr") so tests and
+ * tooling can match findings without parsing messages. `stmt_index` is
+ * the pre-order statement index inside `section` ("init"/"compute");
+ * findings inside a `parallel {}` block are anchored at the block
+ * statement itself so they are invariant under arm reordering.
+ */
+struct MopDiagnostic {
+    DiagSeverity severity = DiagSeverity::kError;
+    std::string check;
+    std::string section;          //!< "init", "compute", or "" (program)
+    std::int64_t stmt_index = -1; //!< -1 for program-wide findings
+    StatusCode code = StatusCode::kFailedPrecondition;
+    std::string message;
+
+    /** "compute:12", "init:0", or "program". */
+    std::string location() const;
+
+    /** "error[race-write-write] compute:12: ...". */
+    std::string toString() const;
+
+    /** The finding as a first-error style Status. */
+    Status toStatus() const { return Status(code, message); }
+};
+
+std::int64_t countDiagnostics(const std::vector<MopDiagnostic> &diags,
+                              DiagSeverity severity);
+
+/** First error-severity finding as a Status; OK when there is none. */
+Status firstError(const std::vector<MopDiagnostic> &diags);
+
+/** Renders findings as a severity|check|loc|message text table. */
+std::string
+renderDiagnosticsTable(const std::vector<MopDiagnostic> &diags);
+
+/** Serializes findings for the report.v1 "lint" section. */
+ConfigValue
+diagnosticsToConfig(const std::vector<MopDiagnostic> &diags);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_MOP_DIAGNOSTICS_H

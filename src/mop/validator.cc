@@ -2,6 +2,7 @@
 
 #include <set>
 #include <string>
+#include <utility>
 
 #include "common/strutil.h"
 
@@ -44,6 +45,19 @@ knownDcomFunc(const std::string &func)
     return known.count(func) > 0;
 }
 
+namespace check {
+inline constexpr const char *kParallelNest = "struct-parallel-nest";
+inline constexpr const char *kRepeatCount = "struct-repeat-count";
+inline constexpr const char *kMode = "struct-mode";
+inline constexpr const char *kCoreRange = "struct-core-range";
+inline constexpr const char *kXbarRange = "struct-xbar-range";
+inline constexpr const char *kGeometry = "struct-geometry";
+inline constexpr const char *kWritePolicy = "struct-write-policy";
+inline constexpr const char *kDcomFunc = "struct-dcom-func";
+inline constexpr const char *kMov = "struct-mov";
+inline constexpr const char *kAddr = "struct-addr";
+} // namespace check
+
 class Validator
 {
   public:
@@ -52,101 +66,133 @@ class Validator
     {
     }
 
-    Status
+    std::vector<MopDiagnostic>
     run(const MopProgram &program)
     {
-        CIMMLC_RETURN_IF_ERROR(section(program.init(), /*in_init=*/true,
-                                       /*in_parallel=*/false));
-        CIMMLC_RETURN_IF_ERROR(section(program.compute(), false, false));
-        return Status::ok();
+        section_ = "init";
+        next_index_ = 0;
+        walk(program.init(), /*in_init=*/true, /*in_parallel=*/false);
+        section_ = "compute";
+        next_index_ = 0;
+        walk(program.compute(), false, false);
+        return std::move(diags_);
     }
 
   private:
-    Status
-    section(const std::vector<Stmt> &stmts, bool in_init, bool in_parallel)
+    void
+    walk(const std::vector<Stmt> &stmts, bool in_init, bool in_parallel)
     {
         for (const Stmt &stmt : stmts) {
+            const std::int64_t index = next_index_++;
             switch (stmt.kind) {
               case Stmt::Kind::kOp:
-                CIMMLC_RETURN_IF_ERROR(checkOp(stmt.op, in_init));
+                checkOp(stmt.op, in_init, index);
                 break;
               case Stmt::Kind::kParallel:
                 if (in_parallel) {
-                    return invalidArgument(
+                    add(index, check::kParallelNest,
+                        StatusCode::kInvalidArgument,
                         "nested parallel blocks are not supported");
                 }
-                CIMMLC_RETURN_IF_ERROR(
-                    section(stmt.body, in_init, /*in_parallel=*/true));
+                walk(stmt.body, in_init, /*in_parallel=*/true);
                 break;
               case Stmt::Kind::kRepeat:
                 if (stmt.repeat <= 0) {
-                    return invalidArgument(strformat(
-                        "repeat count must be positive, got %lld",
-                        static_cast<long long>(stmt.repeat)));
+                    add(index, check::kRepeatCount,
+                        StatusCode::kInvalidArgument,
+                        strformat(
+                            "repeat count must be positive, got %lld",
+                            static_cast<long long>(stmt.repeat)));
                 }
-                CIMMLC_RETURN_IF_ERROR(
-                    section(stmt.body, in_init, in_parallel));
+                walk(stmt.body, in_init, in_parallel);
                 break;
             }
         }
-        return Status::ok();
     }
 
-    Status
+    void
+    add(std::int64_t index, const char *check_id, StatusCode code,
+        std::string message)
+    {
+        MopDiagnostic diag;
+        diag.severity = DiagSeverity::kError;
+        diag.check = check_id;
+        diag.section = section_;
+        diag.stmt_index = index;
+        diag.code = code;
+        diag.message = std::move(message);
+        diags_.push_back(std::move(diag));
+    }
+
+    bool
     checkBufAddr(const BufAddr &addr, std::int64_t extent,
-                 const MetaOp &op)
+                 const MetaOp &op, std::int64_t index)
     {
         if (addr.offset < 0 || extent < 0) {
-            return outOfRange("negative buffer address in " +
-                              op.toString());
+            add(index, check::kAddr, StatusCode::kOutOfRange,
+                "negative buffer address in " + op.toString());
+            return false;
         }
         if (addr.space == MemSpace::kL1) {
             if (addr.core < 0 || addr.core >= arch_.chip.coreNumber()) {
-                return outOfRange("L1 core out of range in " +
-                                  op.toString());
+                add(index, check::kAddr, StatusCode::kOutOfRange,
+                    "L1 core out of range in " + op.toString());
+                return false;
             }
             // Element size is int32 in the executable model.
             if (arch_.core.l1_size_kib > 0) {
                 const std::int64_t capacity = static_cast<std::int64_t>(
                     arch_.core.l1_size_kib * 1024.0 / 4.0);
                 if (addr.offset + extent > capacity) {
-                    return outOfRange(strformat(
-                        "L1 overflow (%lld > %lld elems) in %s",
-                        static_cast<long long>(addr.offset + extent),
-                        static_cast<long long>(capacity),
-                        op.toString().c_str()));
+                    add(index, check::kAddr, StatusCode::kOutOfRange,
+                        strformat(
+                            "L1 overflow (%lld > %lld elems) in %s",
+                            static_cast<long long>(addr.offset + extent),
+                            static_cast<long long>(capacity),
+                            op.toString().c_str()));
+                    return false;
                 }
             }
-        } else if (arch_.chip.l0_size_kib > 0) {
+        } else if (options_.enforce_l0_capacity
+                   && arch_.chip.l0_size_kib > 0) {
             const std::int64_t capacity = static_cast<std::int64_t>(
                 arch_.chip.l0_size_kib * 1024.0 / 4.0);
             if (addr.offset + extent > capacity) {
-                return outOfRange(strformat(
-                    "L0 overflow (%lld > %lld elems) in %s",
-                    static_cast<long long>(addr.offset + extent),
-                    static_cast<long long>(capacity),
-                    op.toString().c_str()));
+                add(index, check::kAddr, StatusCode::kOutOfRange,
+                    strformat("L0 overflow (%lld > %lld elems) in %s",
+                              static_cast<long long>(addr.offset + extent),
+                              static_cast<long long>(capacity),
+                              op.toString().c_str()));
+                return false;
             }
         }
-        return Status::ok();
+        return true;
     }
 
-    Status
-    checkOp(const MetaOp &op, bool in_init)
+    // Mirrors the historical first-error semantics per op: after a
+    // finding, the remaining checks on the same op are skipped (they
+    // would cascade misleadingly); the walk continues with the next
+    // statement.
+    void
+    checkOp(const MetaOp &op, bool in_init, std::int64_t index)
     {
         if (options_.enforce_mode &&
             !opAllowedInMode(op.kind, arch_.mode)) {
-            return failedPrecondition(strformat(
-                "%s is not exposed by the %s programming interface",
-                metaOpKindName(op.kind), computeModeName(arch_.mode)));
+            add(index, check::kMode, StatusCode::kFailedPrecondition,
+                strformat(
+                    "%s is not exposed by the %s programming interface",
+                    metaOpKindName(op.kind), computeModeName(arch_.mode)));
+            return;
         }
         if (isCimMetaOp(op.kind)) {
             if (op.core < 0 || op.core >= arch_.chip.coreNumber()) {
-                return outOfRange(strformat(
-                    "core %lld out of range [0, %lld) in %s",
-                    static_cast<long long>(op.core),
-                    static_cast<long long>(arch_.chip.coreNumber()),
-                    op.toString().c_str()));
+                add(index, check::kCoreRange, StatusCode::kOutOfRange,
+                    strformat("core %lld out of range [0, %lld) in %s",
+                              static_cast<long long>(op.core),
+                              static_cast<long long>(
+                                  arch_.chip.coreNumber()),
+                              op.toString().c_str()));
+                return;
             }
         }
         switch (op.kind) {
@@ -155,11 +201,13 @@ class Validator
           case MetaOpKind::kReadRow:
           case MetaOpKind::kWriteRow: {
             if (op.xb < 0 || op.xb >= arch_.core.xbNumber()) {
-                return outOfRange(strformat(
-                    "crossbar %lld out of range [0, %lld) in %s",
-                    static_cast<long long>(op.xb),
-                    static_cast<long long>(arch_.core.xbNumber()),
-                    op.toString().c_str()));
+                add(index, check::kXbarRange, StatusCode::kOutOfRange,
+                    strformat(
+                        "crossbar %lld out of range [0, %lld) in %s",
+                        static_cast<long long>(op.xb),
+                        static_cast<long long>(arch_.core.xbNumber()),
+                        op.toString().c_str()));
+                return;
             }
             break;
           }
@@ -169,58 +217,72 @@ class Validator
         switch (op.kind) {
           case MetaOpKind::kReadXb: {
             if (op.xb + op.len > arch_.core.xbNumber()) {
-                return outOfRange("readxb len exceeds crossbars in " +
-                                  op.toString());
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    "readxb len exceeds crossbars in " + op.toString());
+                return;
             }
             if (op.rows > arch_.xbar.rows) {
-                return outOfRange("readxb rows exceed crossbar rows in " +
-                                  op.toString());
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    "readxb rows exceed crossbar rows in " +
+                        op.toString());
+                return;
             }
             if (op.cols > arch_.logicalColsPerCrossbar() * op.len) {
-                return outOfRange("readxb cols exceed capacity in " +
-                                  op.toString());
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    "readxb cols exceed capacity in " + op.toString());
+                return;
             }
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, op.rows, op));
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, op.cols, op));
+            if (!checkBufAddr(op.src, op.rows, op, index))
+                return;
+            checkBufAddr(op.dst, op.cols, op, index);
             break;
           }
           case MetaOpKind::kReadRow: {
             if (op.row < 0 || op.row + op.len > arch_.xbar.rows) {
-                return outOfRange("readrow range exceeds crossbar in " +
-                                  op.toString());
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    "readrow range exceeds crossbar in " + op.toString());
+                return;
             }
             if (op.len > arch_.xbar.parallel_row) {
-                return outOfRange(strformat(
-                    "readrow activates %lld rows but parallel_row is "
-                    "%lld in %s",
-                    static_cast<long long>(op.len),
-                    static_cast<long long>(arch_.xbar.parallel_row),
-                    op.toString().c_str()));
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    strformat("readrow activates %lld rows but "
+                              "parallel_row is %lld in %s",
+                              static_cast<long long>(op.len),
+                              static_cast<long long>(
+                                  arch_.xbar.parallel_row),
+                              op.toString().c_str()));
+                return;
             }
             if (op.cols > arch_.logicalColsPerCrossbar()) {
-                return outOfRange("readrow cols exceed capacity in " +
-                                  op.toString());
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    "readrow cols exceed capacity in " + op.toString());
+                return;
             }
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, op.len, op));
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, op.cols, op));
+            if (!checkBufAddr(op.src, op.len, op, index))
+                return;
+            checkBufAddr(op.dst, op.cols, op, index);
             break;
           }
           case MetaOpKind::kWriteXb:
           case MetaOpKind::kWriteRow: {
             if (!in_init && options_.enforce_write_policy &&
                 arch_.weightsStationary()) {
-                return failedPrecondition(strformat(
-                    "%s devices freeze weights after init; runtime "
-                    "write in %s",
-                    cellTypeName(arch_.xbar.cell_type),
-                    op.toString().c_str()));
+                add(index, check::kWritePolicy,
+                    StatusCode::kFailedPrecondition,
+                    strformat("%s devices freeze weights after init; "
+                              "runtime write in %s",
+                              cellTypeName(arch_.xbar.cell_type),
+                              op.toString().c_str()));
+                return;
             }
             if (op.kind == MetaOpKind::kWriteRow &&
                 (op.row < 0 || op.row + op.len > arch_.xbar.rows)) {
-                return outOfRange("writerow range exceeds crossbar in " +
-                                  op.toString());
+                add(index, check::kGeometry, StatusCode::kOutOfRange,
+                    "writerow range exceeds crossbar in " +
+                        op.toString());
+                return;
             }
-            if (op.payload) {
+            if (op.payload && op.payload->shape().rank() > 0) {
                 const std::int64_t prows = op.payload->shape().dim(0);
                 const std::int64_t pcols =
                     op.payload->shape().rank() > 1
@@ -228,59 +290,78 @@ class Validator
                 if (op.kind == MetaOpKind::kWriteXb &&
                     (prows > arch_.xbar.rows ||
                      pcols > arch_.logicalColsPerCrossbar())) {
-                    return outOfRange("writexb payload exceeds crossbar "
-                                      "in " + op.toString());
+                    add(index, check::kGeometry, StatusCode::kOutOfRange,
+                        "writexb payload exceeds crossbar in " +
+                            op.toString());
+                    return;
                 }
                 if (op.kind == MetaOpKind::kWriteRow &&
                     (prows > op.len ||
                      pcols > arch_.logicalColsPerCrossbar())) {
-                    return outOfRange("writerow payload exceeds range "
-                                      "in " + op.toString());
+                    add(index, check::kGeometry, StatusCode::kOutOfRange,
+                        "writerow payload exceeds range in " +
+                            op.toString());
+                    return;
                 }
             }
             break;
           }
           case MetaOpKind::kDcom: {
             if (!knownDcomFunc(op.func)) {
-                return invalidArgument("unknown DCOM function '" +
-                                       op.func + "'");
+                add(index, check::kDcomFunc,
+                    StatusCode::kInvalidArgument,
+                    "unknown DCOM function '" + op.func + "'");
+                return;
             }
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, op.len, op));
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, 0, op));
+            if (!checkBufAddr(op.src, op.len, op, index))
+                return;
+            checkBufAddr(op.dst, 0, op, index);
             break;
           }
           case MetaOpKind::kMov: {
             if (op.len <= 0 || op.count <= 0) {
-                return invalidArgument("mov len/count must be positive "
-                                       "in " + op.toString());
+                add(index, check::kMov, StatusCode::kInvalidArgument,
+                    "mov len/count must be positive in " + op.toString());
+                return;
             }
             const std::int64_t src_extent =
                 op.src_stride * (op.count - 1) + op.len;
             const std::int64_t dst_extent =
                 op.dst_stride * (op.count - 1) + op.len;
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.src, src_extent, op));
-            CIMMLC_RETURN_IF_ERROR(checkBufAddr(op.dst, dst_extent, op));
+            if (!checkBufAddr(op.src, src_extent, op, index))
+                return;
+            checkBufAddr(op.dst, dst_extent, op, index);
             break;
           }
           case MetaOpKind::kReadCore:
           case MetaOpKind::kWriteCore:
             break;
         }
-        return Status::ok();
     }
 
     const CimArchitecture &arch_;
     ValidateOptions options_;
+    std::string section_;
+    std::int64_t next_index_ = 0;
+    std::vector<MopDiagnostic> diags_;
 };
 
 } // namespace
+
+std::vector<MopDiagnostic>
+collectProgramDiagnostics(const MopProgram &program,
+                          const CimArchitecture &arch,
+                          const ValidateOptions &options)
+{
+    Validator validator(arch, options);
+    return validator.run(program);
+}
 
 Status
 validateProgram(const MopProgram &program, const CimArchitecture &arch,
                 const ValidateOptions &options)
 {
-    Validator validator(arch, options);
-    return validator.run(program);
+    return firstError(collectProgramDiagnostics(program, arch, options));
 }
 
 } // namespace cimmlc

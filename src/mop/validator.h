@@ -3,12 +3,22 @@
  * Structural validation of meta-operator flows against a target
  * architecture: address ranges, row/column bounds, parallel-row limits,
  * computing-mode legality, and device write policy.
+ *
+ * Two entry points over the same traversal:
+ *  - collectProgramDiagnostics() reports every violation as a
+ *    MopDiagnostic ("struct-*" check ids) — used by the mopcheck lint
+ *    stage;
+ *  - validateProgram() keeps the historical first-error Status
+ *    contract as a thin wrapper.
  */
 #ifndef CIMMLC_MOP_VALIDATOR_H
 #define CIMMLC_MOP_VALIDATOR_H
 
+#include <vector>
+
 #include "arch/arch.h"
 #include "common/status.h"
+#include "mop/diagnostics.h"
 #include "mop/program.h"
 
 namespace cimmlc {
@@ -19,7 +29,28 @@ struct ValidateOptions {
     bool enforce_write_policy = true;
     //! reject ops below the architecture's computing-mode granularity
     bool enforce_mode = true;
+    /**
+     * Treat l0_size_kib as a hard address bound. Hand-built flows
+     * address physical L0; codegen, however, assigns tensor offsets in
+     * a virtual L0 space (the global buffer is backed by off-chip
+     * memory, and l0_size_kib prices bandwidth/energy), so the lint
+     * stage disables this for emitted programs. L1 bounds are always
+     * enforced — per-core scratchpads are physically addressed.
+     */
+    bool enforce_l0_capacity = true;
 };
+
+/**
+ * Collect-all mode: every structural violation in @p program, in
+ * traversal order (init section before compute, pre-order within a
+ * section). Per op, only the first violation is reported — follow-on
+ * checks on an already-broken op would cascade misleadingly. All
+ * structural findings are error severity.
+ */
+std::vector<MopDiagnostic>
+collectProgramDiagnostics(const MopProgram &program,
+                          const CimArchitecture &arch,
+                          const ValidateOptions &options = {});
 
 /**
  * Checks @p program against @p arch. The first violation is returned;

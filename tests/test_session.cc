@@ -335,6 +335,89 @@ TEST(CompilerSessionTest, ReportRoundTripsThroughKvjsonReader)
               artifacts.flowStatements());
 }
 
+// ----- lint stage ----------------------------------------------------------
+
+TEST(CompileRequestTest, LintStrictRequiresLintAndFlow)
+{
+    CompileRequest strict_only;
+    strict_only.model = "lenet5";
+    strict_only.lint_strict = true;
+    EXPECT_FALSE(strict_only.validate().isOk());
+
+    CompileRequest no_flow;
+    no_flow.model = "lenet5";
+    no_flow.lint = true;
+    no_flow.outputs.flow = false;
+    EXPECT_FALSE(no_flow.validate().isOk());
+}
+
+TEST(CompilerSessionTest, LintStageProducesArtifactsTraceAndReport)
+{
+    const Graph graph = models::lenet5();
+    const CimArchitecture arch = presets::isaacBaseline();
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.lint = true;
+    request.lint_strict = true;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const CompileArtifacts &artifacts = result.value();
+
+    ASSERT_TRUE(artifacts.lint.has_value());
+    EXPECT_TRUE(artifacts.lint->clean()) << artifacts.lint->table();
+    EXPECT_GT(artifacts.lint->statements, 0);
+    EXPECT_GT(artifacts.lint->crossbars_programmed, 0);
+
+    // The stage trace carries the mopcheck summary line.
+    bool saw_lint = false;
+    for (const StageTrace &trace : artifacts.stages) {
+        if (trace.stage != CompileStage::kLint)
+            continue;
+        saw_lint = true;
+        EXPECT_TRUE(trace.status.isOk());
+        EXPECT_NE(trace.detail.find("mopcheck"), std::string::npos);
+    }
+    EXPECT_TRUE(saw_lint);
+
+    // report.v1 gains a "lint" section with counters + diagnostics.
+    auto parsed = parseConfig(artifacts.toConfig().dump(true));
+    ASSERT_TRUE(parsed.isOk());
+    auto lint = parsed.value().get("lint");
+    ASSERT_TRUE(lint.isOk()) << "report has no lint section";
+    EXPECT_EQ(lint.value().getIntOr("errors", -1), 0);
+    EXPECT_EQ(lint.value().getIntOr("warnings", -1), 0);
+    EXPECT_EQ(lint.value().getIntOr("statements", -1),
+              artifacts.lint->statements);
+    auto diags = lint.value().get("diagnostics");
+    ASSERT_TRUE(diags.isOk());
+    EXPECT_TRUE(diags.value().isArray());
+}
+
+TEST(CompilerSessionTest, LintStrictFailsOnUncompilableScratchpad)
+{
+    const Graph graph = models::lenet5();
+    CimArchitecture arch = presets::tutorialTable2(ComputeMode::kWLM);
+    arch.core.l1_size_kib = 0.015625; // 4 elements: nothing fits
+    CompileRequest request = borrowedRequest(graph, arch);
+    request.lint = true;
+    request.lint_strict = true;
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("mopcheck"),
+              std::string::npos)
+        << result.status().toString();
+
+    // Without strict mode the same findings are reported, not fatal.
+    CompileRequest advisory = borrowedRequest(graph, arch);
+    advisory.lint = true;
+    CompilerSession relaxed(std::move(advisory));
+    auto soft = relaxed.run();
+    ASSERT_TRUE(soft.isOk()) << soft.status().toString();
+    ASSERT_TRUE(soft.value().lint.has_value());
+    EXPECT_GT(soft.value().lint->errors(), 0);
+}
+
 // ----- stage naming --------------------------------------------------------
 
 TEST(CompileStageTest, NamesRoundTrip)
