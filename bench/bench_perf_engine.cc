@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Closed-form vs discrete-event engine comparison: wall-clock cost of
+ * each engine and the modeled-latency delta across model x preset
+ * pairs. Motivates the two-rung fidelity ladder — the closed-form
+ * model is orders of magnitude cheaper to run, the event engine prices
+ * real contention (nonzero stall on port-limited presets) and can only
+ * ever be slower than the contention-blind estimate.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/presets.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "compiler/session.h"
+#include "common/strutil.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+
+namespace {
+
+struct EngineSample {
+    double wall_ms = 0.0;
+    double latency = 0.0;
+    double stall = 0.0;
+};
+
+EngineSample
+runEngine(const std::string &model, const std::string &arch,
+          PerfEngineKind engine)
+{
+    CompileRequest request;
+    request.model = model;
+    request.arch = arch;
+    request.perf_engine = engine;
+    request.stop_after = CompileStage::kPerf;
+    CompilerSession session(std::move(request));
+    const auto start = std::chrono::steady_clock::now();
+    auto artifacts = session.run();
+    const auto stop = std::chrono::steady_clock::now();
+    CIMMLC_CHECK(artifacts.isOk()) << artifacts.status().toString();
+    CIMMLC_CHECK(artifacts.value().perf.has_value());
+    EngineSample sample;
+    sample.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    sample.latency = artifacts.value().perf->latency_cycles;
+    sample.stall = artifacts.value().perf->stall_cycles;
+    return sample;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("=== Perf engines: closed-form proxy vs discrete-event "
+              "simulation ===");
+    const std::vector<std::string> model_names = {"mlp", "lenet5",
+                                                  "macro_cnn"};
+    const std::vector<std::string> arch_names = {"jia", "jain",
+                                                 "tutorial"};
+
+    TextTable table({"model", "arch", "closed ms", "event ms",
+                     "closed cycles", "event cycles", "delta",
+                     "stall cycles"});
+    ShapeChecker check;
+    double closed_ms_total = 0.0;
+    double event_ms_total = 0.0;
+    bool saw_stall = false;
+    for (const std::string &model : model_names) {
+        for (const std::string &arch : arch_names) {
+            const EngineSample closed =
+                runEngine(model, arch, PerfEngineKind::kClosedForm);
+            const EngineSample event =
+                runEngine(model, arch, PerfEngineKind::kEvent);
+            closed_ms_total += closed.wall_ms;
+            event_ms_total += event.wall_ms;
+            saw_stall = saw_stall || event.stall > 0.0;
+            table.addRow(
+                {model, arch, strformat("%.2f", closed.wall_ms),
+                 strformat("%.2f", event.wall_ms),
+                 strformat("%.0f", closed.latency),
+                 strformat("%.0f", event.latency),
+                 strformat("%.2fx", event.latency / closed.latency),
+                 strformat("%.0f", event.stall)});
+            check.require(event.latency >= closed.latency,
+                          "event latency must never undercut the "
+                          "closed-form bound ("
+                              + model + " x " + arch + ")");
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("total wall: closed-form %.1f ms, event %.1f ms\n",
+                closed_ms_total, event_ms_total);
+
+    check.require(saw_stall,
+                  "at least one port-limited preset must show real "
+                  "contention stall");
+    return check.finish("perf_engine");
+}

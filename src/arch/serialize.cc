@@ -220,10 +220,13 @@ constexpr ArchParam kAllArchParams[] = {
     ArchParam::kCoreGrid,         ArchParam::kCoreNoc,
     ArchParam::kCoreNocBandwidth, ArchParam::kL0Bandwidth,
     ArchParam::kL1Bandwidth,      ArchParam::kComputeMode,
+    ArchParam::kDacBits,          ArchParam::kAdcBits,
+    ArchParam::kCellType,         ArchParam::kCellBits,
 };
 
-/** Whether an axis takes [rows, cols] pairs, scalars, or names. */
-enum class ParamKind { kGrid, kBandwidth, kName };
+/** Whether an axis takes [rows, cols] pairs, scalars, positive integer
+ * counts (bit widths), or names. */
+enum class ParamKind { kGrid, kBandwidth, kName, kCount };
 
 ParamKind
 paramKind(ArchParam param)
@@ -235,11 +238,16 @@ paramKind(ArchParam param)
         return ParamKind::kGrid;
       case ArchParam::kCoreNoc:
       case ArchParam::kComputeMode:
+      case ArchParam::kCellType:
         return ParamKind::kName;
       case ArchParam::kCoreNocBandwidth:
       case ArchParam::kL0Bandwidth:
       case ArchParam::kL1Bandwidth:
         return ParamKind::kBandwidth;
+      case ArchParam::kDacBits:
+      case ArchParam::kAdcBits:
+      case ArchParam::kCellBits:
+        return ParamKind::kCount;
     }
     return ParamKind::kBandwidth;
 }
@@ -270,6 +278,10 @@ canonicalParamName(ArchParam param, const std::string &text)
     if (param == ArchParam::kCoreNoc) {
         CIMMLC_ASSIGN_OR_RETURN(const NocType noc, parseNocType(text));
         return std::string(nocTypeName(noc));
+    }
+    if (param == ArchParam::kCellType) {
+        CIMMLC_ASSIGN_OR_RETURN(const CellType cell, parseCellType(text));
+        return std::string(cellTypeName(cell));
     }
     CIMMLC_ASSIGN_OR_RETURN(const ComputeMode mode,
                             parseComputeMode(text));
@@ -311,6 +323,11 @@ paramValueFromConfig(ArchParam param, const ConfigValue &item)
         if (value.number < 0.0)
             return parseError("sweep '" + key + "' values must be >= 0");
         return value;
+      case ParamKind::kCount:
+        if (!integerValue(item, &value.rows) || value.rows <= 0)
+            return parseError("sweep '" + key
+                              + "' entries must be positive integers");
+        return value;
       case ParamKind::kName: {
         if (!item.isString())
             return parseError("sweep '" + key
@@ -351,11 +368,17 @@ expandLog2Range(ArchParam param, const ConfigValue &range)
     std::vector<ArchParamValue> values;
     for (std::int64_t n = lo;; n *= 2) {
         ArchParamValue value;
-        if (paramKind(param) == ParamKind::kGrid) {
+        switch (paramKind(param)) {
+          case ParamKind::kGrid:
             value.rows = n;
             value.cols = n;
-        } else {
+            break;
+          case ParamKind::kCount:
+            value.rows = n;
+            break;
+          default:
             value.number = static_cast<double>(n);
+            break;
         }
         values.push_back(value);
         // Termination guard before doubling: integerValue caps hi at
@@ -382,6 +405,10 @@ archParamName(ArchParam param)
       case ArchParam::kL0Bandwidth: return "l0_bandwidth";
       case ArchParam::kL1Bandwidth: return "l1_bandwidth";
       case ArchParam::kComputeMode: return "compute_mode";
+      case ArchParam::kDacBits: return "dac_bits";
+      case ArchParam::kAdcBits: return "adc_bits";
+      case ArchParam::kCellType: return "cell_type";
+      case ArchParam::kCellBits: return "cell_bits";
     }
     return "?";
 }
@@ -398,7 +425,7 @@ parseArchParam(const std::string &text)
         "unknown sweep parameter '" + text
         + "' (expected xb_size | xb_grid | core_grid | core_noc | "
           "core_noc_bandwidth | l0_bandwidth | l1_bandwidth | "
-          "compute_mode)");
+          "compute_mode | dac_bits | adc_bits | cell_type | cell_bits)");
 }
 
 std::string
@@ -410,6 +437,8 @@ archParamValueToString(ArchParam param, const ArchParamValue &value)
                          static_cast<long long>(value.cols));
       case ParamKind::kBandwidth:
         return formatDouble(value.number, 6);
+      case ParamKind::kCount:
+        return strformat("%lld", static_cast<long long>(value.rows));
       case ParamKind::kName:
         return value.name;
     }
@@ -513,6 +542,20 @@ applyArchParam(CimArchitecture *arch, ArchParam param,
         CIMMLC_ASSIGN_OR_RETURN(arch->mode, parseComputeMode(value.name));
         return Status::ok();
       }
+      case ArchParam::kDacBits:
+        arch->xbar.dac_bits = static_cast<int>(value.rows);
+        return Status::ok();
+      case ArchParam::kAdcBits:
+        arch->xbar.adc_bits = static_cast<int>(value.rows);
+        return Status::ok();
+      case ArchParam::kCellType: {
+        CIMMLC_ASSIGN_OR_RETURN(arch->xbar.cell_type,
+                                parseCellType(value.name));
+        return Status::ok();
+      }
+      case ArchParam::kCellBits:
+        arch->xbar.cell_bits = static_cast<int>(value.rows);
+        return Status::ok();
     }
     return internalError("applyArchParam: unhandled parameter");
 }

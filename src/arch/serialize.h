@@ -47,6 +47,10 @@ enum class ArchParam {
     kL0Bandwidth,      //!< global buffer bits/cycle (0 = ideal)
     kL1Bandwidth,      //!< core buffer bits/cycle (0 = ideal)
     kComputeMode,      //!< programming interface (CM | XBM | WLM)
+    kDacBits,          //!< DAC precision (bits per activation slice)
+    kAdcBits,          //!< ADC precision
+    kCellType,         //!< memory device (SRAM | ReRAM | ...)
+    kCellBits,         //!< storage precision of one cell
 };
 
 /** Spec key of a sweepable parameter ("xb_size", "core_grid", ...). */
@@ -90,11 +94,12 @@ struct ArchSweepSpec {
 /**
  * Parses a sweep-space object. Each member maps a parameter name to its
  * axis values:
- *   - an array of values: numbers for bandwidth axes, strings for
- *     NoC/mode axes, [rows, cols] pairs (or a scalar N meaning NxN) for
- *     grid axes;
+ *   - an array of values: numbers for bandwidth axes, positive
+ *     integers for bit-width axes (dac_bits, adc_bits, cell_bits),
+ *     strings for NoC/mode/cell-type axes, [rows, cols] pairs (or a
+ *     scalar N meaning NxN) for grid axes;
  *   - {"log2": [lo, hi]}: lo, 2*lo, 4*lo, ... <= hi. Grid axes expand
- *     to square NxN grids; NoC/mode axes reject ranges.
+ *     to square NxN grids; name axes reject ranges.
  *
  * @code
  *   {

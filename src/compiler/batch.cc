@@ -20,6 +20,8 @@ struct TuneContext {
     SearchBudget budget;        //!< per-job tuner evaluation budget
     bool lint = false;          //!< run mopcheck on each job's flow
     bool lint_strict = false;   //!< lint errors fail the job
+    //! perf engine each job evaluates with
+    PerfEngineKind perf_engine = PerfEngineKind::kClosedForm;
 };
 
 /** Runs one job into @p entry; never throws or aborts on bad names. */
@@ -44,6 +46,7 @@ compileJob(const BatchJob &job, const ScheduleOptions &options,
     }
     request.lint = tune.lint;
     request.lint_strict = tune.lint_strict;
+    request.perf_engine = tune.perf_engine;
 
     CompilerSession session(std::move(request));
     // Identity facts survive in the entry even when a later stage fails
@@ -158,7 +161,7 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
     // bit-identical to fresh ones, so hits cannot perturb the output.
     TuneCache cache;
     const TuneContext tune{objective_, tune_ ? &cache : nullptr, budget_,
-                           lint_, lint_strict_};
+                           lint_, lint_strict_, perf_engine_};
 
     if (threads_ == 1) {
         // Serial reference path: the determinism tests compare against it.
@@ -256,6 +259,13 @@ sweepFromConfig(const ConfigValue &doc)
     }
     sweep.lint_strict = doc.getBoolOr("lint_strict", false);
     sweep.lint = doc.getBoolOr("lint", false) || sweep.lint_strict;
+    if (doc.has("perf_engine")) {
+        auto engine = parsePerfEngineKind(
+            doc.getStringOr("perf_engine", "closed_form"));
+        if (!engine.isOk())
+            return engine.status().withContext("sweep 'perf_engine'");
+        sweep.perf_engine = engine.value();
+    }
     return sweep;
 }
 

@@ -73,6 +73,8 @@ struct BatchSweep {
     SearchBudget budget;
     bool lint = false;        //!< mopcheck each job's flow ("lint": true)
     bool lint_strict = false; //!< lint errors fail the job ("lint_strict")
+    //! perf engine every job prices with ("perf_engine": name)
+    PerfEngineKind perf_engine = PerfEngineKind::kClosedForm;
 };
 
 /**
@@ -135,6 +137,10 @@ class BatchCompiler
     bool linting() const { return lint_; }
     bool lintStrict() const { return lint_strict_; }
 
+    /** Perf engine every job evaluates with (default closed_form). */
+    void setPerfEngine(PerfEngineKind engine) { perf_engine_ = engine; }
+    PerfEngineKind perfEngine() const { return perf_engine_; }
+
     /**
      * Runs every job; per-job failures (unknown name, infeasible
      * mapping) are recorded in the entry, not propagated. Entries are
@@ -160,6 +166,7 @@ class BatchCompiler
     SearchBudget budget_;
     bool lint_ = false;
     bool lint_strict_ = false;
+    PerfEngineKind perf_engine_ = PerfEngineKind::kClosedForm;
 };
 
 /**
@@ -174,7 +181,8 @@ class BatchCompiler
  *     "objective": "latency",           # latency | energy | edp
  *     "budget": 64,                     # tuner evaluation budget
  *     "lint": false,                    # mopcheck each job's flow
- *     "lint_strict": false              # lint errors fail the job
+ *     "lint_strict": false,             # lint errors fail the job
+ *     "perf_engine": "closed_form"      # closed_form | event
  *   }
  * @endcode
  *

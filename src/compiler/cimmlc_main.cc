@@ -32,6 +32,11 @@
  *                       the emitted flow and print the findings
  *   --lint-strict       like --lint, but any error-severity finding
  *                       fails the compile (nonzero exit)
+ *   --perf-engine NAME  performance engine: closed_form (default,
+ *                       analytic) | event (discrete-event simulation
+ *                       with resource contention); applies to single
+ *                       compiles, --batch sweeps, and --arch-dse full
+ *                       evaluations
  *   --report FORMAT     text (default) | json — json serializes the
  *                       full CompileArtifacts / DSE record as kvjson
  *   --batch PATH        compile a models x archs sweep concurrently
@@ -95,6 +100,8 @@ struct CliArgs {
     bool verify = false;
     bool lint = false;
     bool lint_strict = false;
+    std::string perf_engine = "closed_form";
+    bool perf_engine_explicit = false;
 };
 
 void
@@ -108,15 +115,19 @@ printUsage(std::FILE *out, const char *argv0)
         "[--autotune-verbose]]\n"
         "          [--search-budget N] [--threads N] [--serial]\n"
         "          [--print-flow [N]] [--print-schedule] [--verify]\n"
-        "          [--lint | --lint-strict] [--report text|json]\n"
+        "          [--lint | --lint-strict] "
+        "[--perf-engine closed_form|event]\n"
+        "          [--report text|json]\n"
         "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
         "[--objective NAME]\n"
         "          [--search-budget N] [--threads N] [--serial] "
         "[--lint | --lint-strict]\n"
+        "          [--perf-engine closed_form|event]\n"
         "       %s --arch-dse SPEC.json [--objective NAME] "
         "[--tune-cache PATH] [--lint]\n"
         "          [--search-budget N] [--threads N] [--serial] "
         "[--report text|json]\n"
+        "          [--perf-engine closed_form|event]\n"
         "          [--check-kvjson PATH]\n"
         "          [--list-models] [--list-archs] [--help]\n",
         argv0, argv0, argv0);
@@ -143,6 +154,20 @@ parseNonNegativeInt(const char *flag, const char *value,
         return false;
     }
     *out = parsed;
+    return true;
+}
+
+/** Parses --perf-engine into the enum, reporting errors to stderr. */
+bool
+parsePerfEngineFlag(const CliArgs &args, PerfEngineKind *kind)
+{
+    auto parsed = parsePerfEngineKind(args.perf_engine);
+    if (!parsed.isOk()) {
+        std::fprintf(stderr, "%s\n",
+                     parsed.status().toString().c_str());
+        return false;
+    }
+    *kind = parsed.value();
     return true;
 }
 
@@ -196,11 +221,17 @@ runBatch(const CliArgs &args)
         return 1;
     }
 
+    PerfEngineKind perf_engine = sweep.value().perf_engine;
+    if (args.perf_engine_explicit
+        && !parsePerfEngineFlag(args, &perf_engine))
+        return 1;
+
     BatchCompiler batch(options, threads);
     batch.setTuning(tune, objective);
     batch.setSearchBudget(budget);
     batch.setLint(args.lint || sweep.value().lint,
                   args.lint_strict || sweep.value().lint_strict);
+    batch.setPerfEngine(perf_engine);
     auto result = batch.run(sweep.value().jobs);
     if (!result.isOk()) {
         std::fprintf(stderr, "batch failed: %s\n",
@@ -300,6 +331,9 @@ runDse(const CliArgs &args)
     // CI varies the budget.
     if (args.search_budget >= 0)
         spec.value().budget.max_full_evals = args.search_budget;
+    if (args.perf_engine_explicit
+        && !parsePerfEngineFlag(args, &spec.value().perf_engine))
+        return 1;
 
     // One memo for the whole sweep; --tune-cache persists it so a
     // repeated invocation reuses every evaluation.
@@ -341,6 +375,8 @@ runSingle(const CliArgs &args)
     if (args.arch_explicit || args.arch_file.empty())
         request.arch = args.arch;
     request.opt = args.opt;
+    if (!parsePerfEngineFlag(args, &request.perf_engine))
+        return 1;
 
     TuneCache tune_cache;
     if (args.autotune) {
@@ -580,6 +616,12 @@ main(int argc, char **argv)
         } else if (flag == "--lint-strict") {
             args.lint = true;
             args.lint_strict = true;
+        } else if (flag == "--perf-engine") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.perf_engine = v;
+            args.perf_engine_explicit = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             return usage(argv[0]);

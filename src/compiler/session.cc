@@ -9,6 +9,7 @@
 #include "graph/models.h"
 #include "graph/serialize.h"
 #include "mop/printer.h"
+#include "perfsim/perf_engine.h"
 #include "sched/multi_level.h"
 
 namespace cimmlc {
@@ -212,6 +213,7 @@ CompileArtifacts::toConfig() const
 
     if (perf.has_value()) {
         ConfigValue::Object perf_obj;
+        perf_obj["engine"] = text(perfEngineName(perf->engine));
         perf_obj["latency_cycles"] = number(perf->latency_cycles);
         perf_obj["reload_cycles"] = number(perf->reload_cycles);
         ConfigValue::Object energy;
@@ -228,6 +230,23 @@ CompileArtifacts::toConfig() const
         perf_obj["crossbars_mapped"] = number(perf->crossbars_mapped);
         perf_obj["crossbar_utilization"] =
             number(perf->crossbar_utilization);
+        if (perf->engine == PerfEngineKind::kEvent) {
+            perf_obj["stall_cycles"] = number(perf->stall_cycles);
+            ConfigValue::Array resource_rows;
+            for (const ResourceUsage &usage : perf->resources) {
+                ConfigValue::Object row;
+                row["name"] = text(usage.name);
+                row["instances"] = number(usage.instances);
+                row["ops"] = number(usage.ops);
+                row["busy_cycles"] = number(usage.busy_cycles);
+                row["stall_cycles"] = number(usage.stall_cycles);
+                row["utilization"] = number(usage.utilization);
+                resource_rows.push_back(
+                    ConfigValue::makeObject(std::move(row)));
+            }
+            perf_obj["resources"] =
+                ConfigValue::makeArray(std::move(resource_rows));
+        }
         perf_obj["text"] = text(perf->toString());
         doc["perf"] = ConfigValue::makeObject(std::move(perf_obj));
     }
@@ -292,7 +311,15 @@ CompilerSession::stageEnabled(CompileStage stage) const
 {
     switch (stage) {
       case CompileStage::kTune: return request_.tune;
-      case CompileStage::kCodegen: return request_.outputs.flow;
+      case CompileStage::kCodegen:
+        // The event perf engine replays the emitted flow, so codegen
+        // runs for it even when the caller did not ask for the flow
+        // artifact (e.g. DSE evaluations with outputs.flow = false).
+        return request_.outputs.flow ||
+               (request_.outputs.perf &&
+                request_.perf_engine == PerfEngineKind::kEvent &&
+                static_cast<int>(request_.stop_after) >=
+                    static_cast<int>(CompileStage::kPerf));
       case CompileStage::kLint: return request_.lint;
       case CompileStage::kPerf: return request_.outputs.perf;
       case CompileStage::kVerify: return request_.outputs.verify;
@@ -466,9 +493,15 @@ CompilerSession::stageLint(CompileArtifacts &artifacts, std::string &detail)
 Status
 CompilerSession::stagePerf(CompileArtifacts &artifacts, std::string &detail)
 {
-    CIMMLC_ASSIGN_OR_RETURN(
-        artifacts.perf,
-        evaluateSchedule(*graph_, *arch_, *artifacts.schedule));
+    const std::unique_ptr<PerfEngine> engine =
+        makePerfEngine(request_.perf_engine);
+    PerfInput input;
+    input.graph = graph_;
+    input.arch = arch_;
+    input.schedule = &*artifacts.schedule;
+    input.program =
+        artifacts.code.has_value() ? &artifacts.code->program : nullptr;
+    CIMMLC_ASSIGN_OR_RETURN(artifacts.perf, engine->evaluate(input));
     detail = artifacts.perf->toString();
     return Status::ok();
 }

@@ -151,6 +151,12 @@ struct CompileRequest {
     //! the flow is clean
     bool lint_strict = false;
 
+    // ----- performance evaluation ----------------------------------------
+    //! which engine the perf stage prices the workload with. kEvent
+    //! needs the emitted flow, so codegen is auto-enabled for it even
+    //! when outputs.flow is off.
+    PerfEngineKind perf_engine = PerfEngineKind::kClosedForm;
+
     //! last stage to run; subsumes the old scheduleOnly entry point
     CompileStage stop_after = CompileStage::kVerify;
 

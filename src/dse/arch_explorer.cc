@@ -82,6 +82,7 @@ evaluateCandidate(const Graph &graph, const DseSpec &spec,
         } else {
             request.options = spec.options;
         }
+        request.perf_engine = spec.perf_engine;
         request.outputs.flow = false;
         if (spec.lint) {
             // Gate feasibility on mopcheck: the flow is emitted and
@@ -147,6 +148,9 @@ evaluateProxy(const Graph &graph, const DseSpec &spec,
         CompileRequest request;
         request.graph = &graph;
         request.arch_ref = &candidate.arch;
+        // Proxies always price with the closed-form model: when the
+        // spec selects the event engine, the analytic model itself is
+        // the cheap fidelity rung below it.
         request.options = fidelity.forced_opt_none
                               ? ScheduleOptions::none()
                               : spec.options;
@@ -229,16 +233,28 @@ dseSpecFromConfig(const ConfigValue &doc)
     if (spec.threads < 0)
         return parseError("DSE spec 'threads' must be >= 0");
 
+    if (doc.has("perf_engine")) {
+        auto engine =
+            parsePerfEngineKind(doc.getStringOr("perf_engine", ""));
+        if (!engine.isOk())
+            return engine.status().withContext("DSE spec 'perf_engine'");
+        spec.perf_engine = engine.value();
+    }
+
     if (doc.has("budget")) {
         auto budget = searchBudgetFromConfig(doc.get("budget").value());
         if (!budget.isOk())
             return budget.status().withContext("DSE spec 'budget'");
         // DSE budgets drive halving, so the proxy stage must be
         // genuinely cheaper than full fidelity; fail at parse time
-        // rather than deep inside explore().
-        const Status halving = budget.value().validateForHalving();
-        if (!halving.isOk())
-            return halving.withContext("DSE spec 'budget'");
+        // rather than deep inside explore(). With the event engine the
+        // closed-form proxy is cheaper by construction, so degenerate
+        // proxy settings are still a valid ladder there.
+        if (spec.perf_engine != PerfEngineKind::kEvent) {
+            const Status halving = budget.value().validateForHalving();
+            if (!halving.isOk())
+                return halving.withContext("DSE spec 'budget'");
+        }
         spec.budget = budget.value();
     }
 
@@ -382,6 +398,7 @@ ArchExplorer::explore(TuneCache *cache) const
     result.base_arch = spec_.base_arch.name;
     result.tuned = spec_.tune;
     result.lint = spec_.lint;
+    result.perf_engine = spec_.perf_engine;
     result.budget = spec_.budget;
     result.candidates = enumerate();
 
@@ -408,6 +425,11 @@ ArchExplorer::explore(TuneCache *cache) const
         // memo entries must never alias unlinted ones.
         if (spec_.lint)
             keys[candidate.index] += "+lint";
+        // Event-engine metrics come from a different pricing model;
+        // closed-form proxy keys stay untagged so they correctly alias
+        // plain closed-form full evaluations.
+        if (spec_.perf_engine == PerfEngineKind::kEvent)
+            keys[candidate.index] += "+engine:event";
         auto [it, inserted] =
             first_of_key.emplace(keys[candidate.index], candidate.index);
         if (inserted)
@@ -426,9 +448,12 @@ ArchExplorer::explore(TuneCache *cache) const
     // below degenerates to the original full-fidelity sweep. A
     // prefix-only proxy over a single-compute-node workload cannot be
     // cheaper than full fidelity, so such runs degrade to exhaustive
-    // too instead of paying every "proxy" rung at full session cost.
-    const bool proxy_can_cheapen =
-        spec_.budget.proxy_opt_none || compute_nodes > 1;
+    // too instead of paying every "proxy" rung at full session cost —
+    // unless full fidelity means the event engine, where the
+    // closed-form proxy is cheaper whatever the workload shape.
+    const bool engine_rung = spec_.perf_engine == PerfEngineKind::kEvent;
+    const bool proxy_can_cheapen = spec_.budget.proxy_opt_none
+                                   || compute_nodes > 1 || engine_rung;
     CIMMLC_ASSIGN_OR_RETURN(
         const HalvingSchedule ladder,
         makeHalvingSchedule(static_cast<std::int64_t>(unique.size()),
@@ -440,8 +465,10 @@ ArchExplorer::explore(TuneCache *cache) const
     // Re-check here, not just at spec parse: the CLI --search-budget
     // override can enable a budget whose spec-provided proxy settings
     // degenerate to full fidelity, which would turn every proxy rung
-    // into an untagged full evaluation.
-    if (proxy_rungs > 0)
+    // into an untagged full evaluation. Not needed on the engine rung:
+    // proxies run closed-form below event-engine full evaluations, so
+    // they are cheaper even at identical schedule fidelity.
+    if (proxy_rungs > 0 && !engine_rung)
         CIMMLC_RETURN_IF_ERROR(spec_.budget.validateForHalving()
                                    .withContext("arch-dse budget"));
 
@@ -705,6 +732,8 @@ DseResult::summary() const
         static_cast<long long>(feasibleCount()), front.size(),
         tuneObjectiveName(objective), best.objectiveValue(objective),
         best.label.c_str(), static_cast<long long>(cache_hits));
+    if (perf_engine == PerfEngineKind::kEvent)
+        line += ", engine event";
     if (budget.enabled()) {
         HalvingSchedule ladder;
         ladder.rungs = rung_sizes;
@@ -733,6 +762,7 @@ DseResult::toConfig() const
     doc["objective"] = text(tuneObjectiveName(objective));
     doc["tune"] = ConfigValue::makeBool(tuned);
     doc["lint"] = ConfigValue::makeBool(lint);
+    doc["perf_engine"] = text(perfEngineName(perf_engine));
 
     ConfigValue::Array rows;
     for (const DseCandidate &candidate : candidates) {

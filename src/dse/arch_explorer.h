@@ -30,6 +30,7 @@
 #include "arch/serialize.h"
 #include "common/config.h"
 #include "common/status.h"
+#include "perfsim/perf_model.h"
 #include "search/search_budget.h"
 #include "sched/autotune.h"
 #include "sched/options.h"
@@ -76,6 +77,16 @@ struct DseSpec {
      * tagged so linted evaluations never alias unlinted ones.
      */
     bool lint = false;
+
+    /**
+     * Performance engine full evaluations price candidates with
+     * (`"perf_engine"` key / CLI `--perf-engine`). Halving proxy rungs
+     * always run the closed-form model: with `event` selected, the
+     * analytic model itself is the cheap fidelity rung below the
+     * discrete-event simulation, and cache fingerprints are tagged so
+     * event evaluations never alias closed-form ones.
+     */
+    PerfEngineKind perf_engine = PerfEngineKind::kClosedForm;
 
     /**
      * Full-fidelity evaluation budget (`"budget"` key / CLI
@@ -151,6 +162,8 @@ struct DseResult {
     std::string base_arch;
     bool tuned = false;
     bool lint = false; //!< full evaluations were gated on mopcheck
+    //! engine full evaluations were priced with
+    PerfEngineKind perf_engine = PerfEngineKind::kClosedForm;
     //! candidates in ascending index order (thread-count independent)
     std::vector<DseCandidate> candidates;
     //! Pareto front, sorted by (latency, energy, index)

@@ -1,0 +1,95 @@
+#include "perfsim/perf_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "perfsim/event/event_engine.h"
+
+namespace cimmlc {
+
+namespace {
+
+class ClosedFormEngine final : public PerfEngine
+{
+  public:
+    PerfEngineKind
+    kind() const override
+    {
+        return PerfEngineKind::kClosedForm;
+    }
+
+    StatusOr<PerfReport>
+    evaluate(const PerfInput &input) const override
+    {
+        if (!input.graph || !input.arch || !input.schedule)
+            return invalidArgument(
+                "closed-form perf engine needs graph, arch, and "
+                "schedule");
+        return evaluateSchedule(*input.graph, *input.arch,
+                                *input.schedule);
+    }
+};
+
+class EventEngine final : public PerfEngine
+{
+  public:
+    PerfEngineKind
+    kind() const override
+    {
+        return PerfEngineKind::kEvent;
+    }
+
+    StatusOr<PerfReport>
+    evaluate(const PerfInput &input) const override
+    {
+        if (!input.arch || !input.program)
+            return invalidArgument(
+                "event perf engine needs arch and the emitted program "
+                "(run codegen first)");
+        CIMMLC_ASSIGN_OR_RETURN(
+            EventSimReport sim,
+            simulateProgramEvents(*input.program, *input.arch));
+        PerfReport report;
+        report.engine = PerfEngineKind::kEvent;
+        report.latency_cycles = sim.cycles;
+        report.reload_cycles = sim.init_cycles;
+        report.energy = sim.energy;
+        report.peak_power_mw = sim.peak_power_mw;
+        report.avg_power_mw = sim.avg_power_mw;
+        report.peak_active_xbs = sim.peak_active_xbs;
+        report.stall_cycles = sim.stall_cycles;
+        report.resources = std::move(sim.resources);
+        // Mapping-side utilization comes from the schedule when the
+        // caller has one; the simulator itself only sees the program.
+        if (input.schedule) {
+            for (const OperatorMapping &mapping : input.schedule->ops) {
+                report.crossbars_mapped += mapping.totalCrossbars();
+            }
+            const std::int64_t total_xbs = input.arch->totalCrossbars();
+            if (total_xbs > 0) {
+                report.crossbar_utilization =
+                    static_cast<double>(std::min<std::int64_t>(
+                        report.crossbars_mapped, total_xbs)) /
+                    static_cast<double>(total_xbs);
+            }
+        }
+        return report;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<PerfEngine>
+makePerfEngine(PerfEngineKind kind)
+{
+    switch (kind) {
+      case PerfEngineKind::kClosedForm:
+        return std::make_unique<ClosedFormEngine>();
+      case PerfEngineKind::kEvent:
+        return std::make_unique<EventEngine>();
+    }
+    return std::make_unique<ClosedFormEngine>();
+}
+
+} // namespace cimmlc

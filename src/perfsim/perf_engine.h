@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The PerfEngine interface: one abstraction over the two ways the
+ * stack prices a compiled workload — the closed-form analytic model
+ * (perf_model.h, fast, contention-blind) and the discrete-event
+ * simulator (event/event_engine.h, contention-aware). Callers pick an
+ * engine by PerfEngineKind and evaluate through the interface; the
+ * budgeted DSE uses closed_form as the cheap proxy rung below event.
+ */
+#ifndef CIMMLC_PERFSIM_PERF_ENGINE_H
+#define CIMMLC_PERFSIM_PERF_ENGINE_H
+
+#include <memory>
+
+#include "arch/arch.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "mop/program.h"
+#include "perfsim/perf_model.h"
+#include "sched/schedule.h"
+
+namespace cimmlc {
+
+/**
+ * Everything a perf engine may consume. Closed-form needs graph, arch,
+ * and schedule; the event engine needs arch and the emitted program
+ * (schedule is optional and only feeds the mapping-utilization fields).
+ */
+struct PerfInput {
+    const Graph *graph = nullptr;
+    const CimArchitecture *arch = nullptr;
+    const Schedule *schedule = nullptr;
+    const MopProgram *program = nullptr;
+};
+
+/** Abstract performance engine. Implementations are stateless. */
+class PerfEngine
+{
+  public:
+    virtual ~PerfEngine() = default;
+
+    /** Which engine this is (tags the produced reports). */
+    virtual PerfEngineKind kind() const = 0;
+
+    /** Prices one inference of the compiled workload. */
+    virtual StatusOr<PerfReport> evaluate(const PerfInput &input)
+        const = 0;
+};
+
+/** Builds the engine for @p kind. Never returns null. */
+std::unique_ptr<PerfEngine> makePerfEngine(PerfEngineKind kind);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_PERFSIM_PERF_ENGINE_H

@@ -9,10 +9,33 @@
 
 namespace cimmlc {
 
+const char *
+perfEngineName(PerfEngineKind kind)
+{
+    switch (kind) {
+      case PerfEngineKind::kClosedForm: return "closed_form";
+      case PerfEngineKind::kEvent: return "event";
+    }
+    return "?";
+}
+
+StatusOr<PerfEngineKind>
+parsePerfEngineKind(const std::string &text)
+{
+    const std::string key = toLower(trim(text));
+    for (PerfEngineKind kind :
+         {PerfEngineKind::kClosedForm, PerfEngineKind::kEvent}) {
+        if (key == perfEngineName(kind))
+            return kind;
+    }
+    return invalidArgument("unknown perf engine '" + text
+                           + "' (expected closed_form | event)");
+}
+
 std::string
 PerfReport::toString() const
 {
-    return strformat(
+    std::string line = strformat(
         "latency %.4g cycles (reload %.3g), energy %.4g pJ "
         "(xb %.3g, adc/dac %.3g, mov %.3g, alu %.3g, write %.3g), "
         "peak %.4g mW / avg %.4g mW, peak-active %lld xbs, "
@@ -23,6 +46,12 @@ PerfReport::toString() const
         static_cast<long long>(peak_active_xbs),
         static_cast<long long>(crossbars_mapped),
         crossbar_utilization * 100.0);
+    // Closed-form renders keep their historical shape; only the event
+    // engine appends its identity and contention summary.
+    if (engine == PerfEngineKind::kEvent)
+        line += strformat(" [engine event, stall %.4g cycles]",
+                          stall_cycles);
+    return line;
 }
 
 StatusOr<PerfReport>

@@ -3,11 +3,17 @@
  * Analytic performance evaluation of a compiled schedule: latency,
  * energy breakdown, peak and average power — the role of the extended
  * PUMA-sim / NeuroSim performance simulator in Section 4.1.
+ *
+ * Also home of the PerfReport both perf engines produce and the
+ * PerfEngineKind vocabulary: the closed-form model here is one engine,
+ * the discrete-event simulator (perfsim/event/event_engine.h) the
+ * other, both behind the PerfEngine interface in perfsim/perf_engine.h.
  */
 #ifndef CIMMLC_PERFSIM_PERF_MODEL_H
 #define CIMMLC_PERFSIM_PERF_MODEL_H
 
 #include <string>
+#include <vector>
 
 #include "arch/arch.h"
 #include "common/status.h"
@@ -17,8 +23,36 @@
 
 namespace cimmlc {
 
+/** Which performance engine produced a report. */
+enum class PerfEngineKind {
+    kClosedForm, //!< analytic per-window formulas (evaluateSchedule)
+    kEvent,      //!< discrete-event simulation with resource contention
+};
+
+/** Stable engine name ("closed_form" | "event"). */
+const char *perfEngineName(PerfEngineKind kind);
+
+/** Parses an engine name back into the enum (CLI / config surfaces). */
+StatusOr<PerfEngineKind> parsePerfEngineKind(const std::string &text);
+
+/**
+ * Occupancy statistics of one simulated resource class (crossbars,
+ * cores, buffer ports, NoC links, ALUs). Only the event engine fills
+ * these; the closed-form model has no notion of per-resource time.
+ */
+struct ResourceUsage {
+    std::string name;           //!< class name ("xbar", "noc", ...)
+    std::int64_t instances = 0; //!< distinct resources of the class used
+    std::int64_t ops = 0;       //!< operations served (repeat-weighted)
+    double busy_cycles = 0.0;   //!< occupied time, summed over instances
+    double stall_cycles = 0.0;  //!< contention wait charged to the class
+    double utilization = 0.0;   //!< busy / (makespan * instances)
+};
+
 /** Aggregate results of one inference under a schedule. */
 struct PerfReport {
+    //! which engine produced the numbers below
+    PerfEngineKind engine = PerfEngineKind::kClosedForm;
     double latency_cycles = 0.0;
     double reload_cycles = 0.0;
     EnergyBreakdown energy;
@@ -27,6 +61,12 @@ struct PerfReport {
     std::int64_t peak_active_xbs = 0;
     std::int64_t crossbars_mapped = 0; //!< arrays holding weights
     double crossbar_utilization = 0.0; //!< mapped / available
+
+    // ----- event-engine extras (empty/zero for closed_form) -------------
+    //! total contention wait across all resources, repeat-weighted
+    double stall_cycles = 0.0;
+    //! per-resource-class occupancy rows, in canonical class order
+    std::vector<ResourceUsage> resources;
 
     std::string toString() const;
 };

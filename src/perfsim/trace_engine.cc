@@ -98,6 +98,72 @@ metaOpDurationCycles(const MetaOp &op, const CimArchitecture &arch)
     return 1.0;
 }
 
+std::int64_t
+metaOpActiveCrossbars(const MetaOp &op, const CimArchitecture &arch)
+{
+    switch (op.kind) {
+      case MetaOpKind::kReadXb:
+        return std::max<std::int64_t>(op.len, 1);
+      case MetaOpKind::kReadRow:
+        return 1;
+      case MetaOpKind::kReadCore:
+        // A CM core activation drives the core's crossbars for the
+        // whole duration.
+        return arch.core.xbNumber();
+      default:
+        return 0;
+    }
+}
+
+void
+accountMetaOpEnergy(const MetaOp &op, double duration, double multiplier,
+                    const CimArchitecture &arch, const EnergyModel &model,
+                    EnergyBreakdown *energy)
+{
+    switch (op.kind) {
+      case MetaOpKind::kReadXb:
+      case MetaOpKind::kReadRow:
+      case MetaOpKind::kReadCore: {
+        const std::int64_t xbs = metaOpActiveCrossbars(op, arch);
+        const double phases =
+            duration /
+            deviceProfile(arch.xbar.cell_type).read_latency_cycles;
+        energy->xbar_pj += multiplier * phases *
+                           static_cast<double>(xbs) *
+                           model.xbarActivationPj();
+        energy->adc_dac_pj += multiplier * phases *
+                              static_cast<double>(xbs) *
+                              model.conversionPj();
+        break;
+      }
+      case MetaOpKind::kWriteXb:
+      case MetaOpKind::kWriteRow:
+      case MetaOpKind::kWriteCore: {
+        double cells = 0.0;
+        if (op.payload) {
+            cells = static_cast<double>(op.payload->numel()) *
+                    static_cast<double>(arch.cellsPerWeight());
+        } else {
+            cells = static_cast<double>(arch.xbar.rows *
+                                        arch.xbar.cols);
+        }
+        energy->write_pj += multiplier * model.writePj(cells);
+        break;
+      }
+      case MetaOpKind::kMov: {
+        const double bits = static_cast<double>(op.len * op.count) *
+                            arch.activation_bits;
+        energy->movement_pj += multiplier * model.movementPj(bits);
+        break;
+      }
+      case MetaOpKind::kDcom: {
+        energy->alu_pj +=
+            multiplier * model.aluPj(static_cast<double>(op.len));
+        break;
+      }
+    }
+}
+
 namespace {
 
 /** Crossbar activation interval for the peak sweep. */
@@ -191,69 +257,11 @@ class Tracer
             double multiplier)
     {
         ++ops_;
-        switch (op.kind) {
-          case MetaOpKind::kReadXb:
-          case MetaOpKind::kReadRow: {
-            const std::int64_t xbs =
-                op.kind == MetaOpKind::kReadXb
-                    ? std::max<std::int64_t>(op.len, 1) : 1;
+        const std::int64_t xbs = metaOpActiveCrossbars(op, arch_);
+        if (xbs > 0)
             intervals_.push_back({start, start + duration, xbs});
-            const double phases =
-                duration /
-                deviceProfile(arch_.xbar.cell_type).read_latency_cycles;
-            energy_.xbar_pj += multiplier * phases *
-                               static_cast<double>(xbs) *
-                               energy_model_.xbarActivationPj();
-            energy_.adc_dac_pj += multiplier * phases *
-                                  static_cast<double>(xbs) *
-                                  energy_model_.conversionPj();
-            break;
-          }
-          case MetaOpKind::kReadCore: {
-            // A CM core activation drives the core's crossbars for the
-            // whole duration.
-            const std::int64_t xbs = arch_.core.xbNumber();
-            intervals_.push_back({start, start + duration, xbs});
-            const double phases =
-                duration /
-                deviceProfile(arch_.xbar.cell_type).read_latency_cycles;
-            energy_.xbar_pj += multiplier * phases *
-                               static_cast<double>(xbs) *
-                               energy_model_.xbarActivationPj();
-            energy_.adc_dac_pj += multiplier * phases *
-                                  static_cast<double>(xbs) *
-                                  energy_model_.conversionPj();
-            break;
-          }
-          case MetaOpKind::kWriteXb:
-          case MetaOpKind::kWriteRow:
-          case MetaOpKind::kWriteCore: {
-            double cells = 0.0;
-            if (op.payload) {
-                cells = static_cast<double>(op.payload->numel()) *
-                        static_cast<double>(arch_.cellsPerWeight());
-            } else {
-                cells = static_cast<double>(arch_.xbar.rows *
-                                            arch_.xbar.cols);
-            }
-            energy_.write_pj += multiplier * energy_model_.writePj(cells);
-            break;
-          }
-          case MetaOpKind::kMov: {
-            const double bits =
-                static_cast<double>(op.len * op.count) *
-                arch_.activation_bits;
-            energy_.movement_pj +=
-                multiplier * energy_model_.movementPj(bits);
-            break;
-          }
-          case MetaOpKind::kDcom: {
-            energy_.alu_pj += multiplier * energy_model_.aluPj(
-                                               static_cast<double>(
-                                                   op.len));
-            break;
-          }
-        }
+        accountMetaOpEnergy(op, duration, multiplier, arch_,
+                            energy_model_, &energy_);
     }
 
     std::int64_t

@@ -78,7 +78,7 @@ TEST(SweepSpecTest, ExpandsLog2Ranges)
 TEST(SweepSpecTest, RejectsMalformedAxes)
 {
     // Unknown parameter name.
-    EXPECT_FALSE(sweepFromJson(R"({"adc_bits": [6, 8]})").isOk());
+    EXPECT_FALSE(sweepFromJson(R"({"adc_precision": [6, 8]})").isOk());
     // Empty value list.
     EXPECT_FALSE(sweepFromJson(R"({"xb_size": []})").isOk());
     // Non-positive grid dimension.
@@ -106,6 +106,55 @@ TEST(SweepSpecTest, RejectsMalformedAxes)
                      R"({"l1_bandwidth":
                          {"log2": [1, 4611686018427387904]}})")
                      .isOk());
+    // Bit-width axes take positive integers, not fractions or zeros.
+    EXPECT_FALSE(sweepFromJson(R"({"adc_bits": [6.5]})").isOk());
+    EXPECT_FALSE(sweepFromJson(R"({"dac_bits": [0]})").isOk());
+    EXPECT_FALSE(sweepFromJson(R"({"cell_bits": [-2]})").isOk());
+    // Unknown cell-type name; ranges on a name axis.
+    EXPECT_FALSE(sweepFromJson(R"({"cell_type": ["FeFET"]})").isOk());
+    EXPECT_FALSE(
+        sweepFromJson(R"({"cell_type": {"log2": [1, 4]}})").isOk());
+}
+
+TEST(SweepSpecTest, ParsesConverterAndCellAxes)
+{
+    auto spec = sweepFromJson(R"({
+        "adc_bits": {"log2": [4, 8]},
+        "dac_bits": [1, 2],
+        "cell_type": ["SRAM", "ReRAM"],
+        "cell_bits": [1, 2, 4]
+    })");
+    ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+    const ArchSweepSpec &sweep = spec.value();
+    ASSERT_EQ(sweep.axes.size(), 4u);
+    EXPECT_EQ(sweep.axes[0].param, ArchParam::kDacBits);
+    EXPECT_EQ(sweep.axes[1].param, ArchParam::kAdcBits);
+    EXPECT_EQ(sweep.axes[2].param, ArchParam::kCellType);
+    EXPECT_EQ(sweep.axes[3].param, ArchParam::kCellBits);
+    EXPECT_EQ(sweep.candidateCount(), 2u * 2u * 2u * 3u);
+    ASSERT_EQ(sweep.axes[1].values.size(), 2u); // 4, 8
+    EXPECT_EQ(sweep.axes[1].values[1].rows, 8);
+    EXPECT_EQ(archParamValueToString(ArchParam::kAdcBits,
+                                     sweep.axes[1].values[1]),
+              "8");
+    // Cell-type names canonicalize through the device vocabulary.
+    EXPECT_EQ(sweep.axes[2].values[1].name,
+              cellTypeName(CellType::kReram));
+
+    CimArchitecture arch = presets::jiaIsscc21();
+    EXPECT_TRUE(applyArchParam(&arch, ArchParam::kAdcBits,
+                               sweep.axes[1].values[1])
+                    .isOk());
+    EXPECT_EQ(arch.xbar.adc_bits, 8);
+    EXPECT_TRUE(applyArchParam(&arch, ArchParam::kCellType,
+                               sweep.axes[2].values[1])
+                    .isOk());
+    EXPECT_EQ(arch.xbar.cell_type, CellType::kReram);
+    EXPECT_TRUE(applyArchParam(&arch, ArchParam::kCellBits,
+                               sweep.axes[3].values[2])
+                    .isOk());
+    EXPECT_EQ(arch.xbar.cell_bits, 4);
+    EXPECT_TRUE(arch.validate().isOk());
 }
 
 // ----- mutation helpers --------------------------------------------------
