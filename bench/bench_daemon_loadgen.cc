@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Compile-service load generator: an in-process cimmlcd serving N
+ * concurrent clients over a models x archs mix, driven in two waves —
+ * a cold wave that populates the daemon's artifact memo and a warm
+ * wave that repeats the same traffic. Reports compiles/sec, p50/p99
+ * client-observed latency, and the cold-vs-warm cache hit rate; the
+ * shape checks require every request to succeed and the warm wave to
+ * hit the memo where the cold wave could not.
+ *
+ * Env knobs (for a brief CI run): CIMMLC_LOADGEN_CLIENTS (default 4),
+ * CIMMLC_LOADGEN_REQUESTS per client per wave (default 6).
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "daemon/client.h"
+#include "daemon/server.h"
+
+using namespace cimmlc;
+using bench::ShapeChecker;
+
+namespace {
+
+struct WaveResult {
+    std::int64_t requests = 0;
+    std::int64_t ok = 0;
+    std::int64_t cached = 0;
+    double wall_s = 0.0;
+    std::vector<double> latencies_ms; // client-observed, per request
+};
+
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[index];
+}
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtoll(value, nullptr, 10);
+}
+
+/** One wave: every client drains its request list concurrently. */
+WaveResult
+runWave(const std::string &socket_path,
+        const std::vector<RpcCompileRequest> &mix, int clients,
+        int requests_per_client)
+{
+    WaveResult result;
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::atomic<std::int64_t> ok{0};
+    std::atomic<std::int64_t> cached{0};
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            auto client = DaemonClient::connectUnixSocket(socket_path);
+            CIMMLC_CHECK(client.isOk())
+                << client.status().toString();
+            for (int r = 0; r < requests_per_client; ++r) {
+                const RpcCompileRequest &request =
+                    mix[static_cast<std::size_t>(c + r) % mix.size()];
+                const auto sent = std::chrono::steady_clock::now();
+                auto response = client.value().compile(request);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - sent)
+                        .count();
+                latencies[static_cast<std::size_t>(c)].push_back(ms);
+                if (response.isOk()) {
+                    ok.fetch_add(1);
+                    if (response.value().cached)
+                        cached.fetch_add(1);
+                } else {
+                    std::fprintf(stderr, "loadgen: %s\n",
+                                 response.status().toString().c_str());
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    result.wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+    result.requests =
+        static_cast<std::int64_t>(clients) * requests_per_client;
+    result.ok = ok.load();
+    result.cached = cached.load();
+    for (const auto &per_client : latencies)
+        result.latencies_ms.insert(result.latencies_ms.end(),
+                                   per_client.begin(),
+                                   per_client.end());
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("=== cimmlcd load generator (concurrent clients, "
+              "cold vs warm waves) ===");
+    const int clients =
+        static_cast<int>(envInt("CIMMLC_LOADGEN_CLIENTS", 4));
+    const int requests =
+        static_cast<int>(envInt("CIMMLC_LOADGEN_REQUESTS", 6));
+    std::printf("clients: %d, requests per client per wave: %d\n\n",
+                clients, requests);
+
+    const std::vector<RpcCompileRequest> mix = [] {
+        std::vector<RpcCompileRequest> requests_;
+        const char *models[] = {"conv_relu_toy", "mlp", "lenet5"};
+        const char *archs[] = {"tutorial", "jain"};
+        for (const char *model : models) {
+            for (const char *arch : archs) {
+                RpcCompileRequest request;
+                request.model = model;
+                request.arch = arch;
+                requests_.push_back(request);
+            }
+        }
+        return requests_;
+    }();
+
+    DaemonConfig config;
+    config.unix_path =
+        "/tmp/cimmlcd_loadgen_" + std::to_string(::getpid()) + ".sock";
+    config.max_inflight = clients;
+    config.max_queue_depth = static_cast<std::int64_t>(clients)
+                             * requests;
+    DaemonServer server(std::move(config));
+    {
+        const Status started = server.start();
+        CIMMLC_CHECK(started.isOk()) << started.toString();
+    }
+
+    const WaveResult cold =
+        runWave(server.config().unix_path, mix, clients, requests);
+    const WaveResult warm =
+        runWave(server.config().unix_path, mix, clients, requests);
+    server.stop();
+
+    ShapeChecker check;
+    TextTable table({"wave", "requests", "ok", "compiles/sec",
+                     "p50 (ms)", "p99 (ms)", "memo hit rate"});
+    for (const auto &[name, wave] :
+         {std::pair<const char *, const WaveResult &>{"cold", cold},
+          {"warm", warm}}) {
+        table.addRow(
+            {name, strformat("%lld", (long long)wave.requests),
+             strformat("%lld", (long long)wave.ok),
+             strformat("%.1f",
+                       wave.wall_s > 0.0
+                           ? static_cast<double>(wave.ok) / wave.wall_s
+                           : 0.0),
+             strformat("%.2f", quantile(wave.latencies_ms, 0.5)),
+             strformat("%.2f", quantile(wave.latencies_ms, 0.99)),
+             bench::percentStr(
+                 wave.requests > 0
+                     ? static_cast<double>(wave.cached)
+                           / static_cast<double>(wave.requests)
+                     : 0.0)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    check.require(cold.ok == cold.requests,
+                  "every cold-wave compile succeeded");
+    check.require(warm.ok == warm.requests,
+                  "every warm-wave compile succeeded");
+    // The warm wave repeats the cold wave's traffic: every request has
+    // a memoized artifact, so the hit rate must be total — and in
+    // particular higher than the cold wave's (which can only hit on
+    // duplicates within its own wave).
+    check.require(warm.cached == warm.requests,
+                  "warm wave served entirely from the artifact memo");
+    check.require(warm.cached > cold.cached,
+                  "warm wave hit the memo more than the cold wave");
+    return check.finish("daemon_loadgen");
+}

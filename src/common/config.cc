@@ -1,7 +1,10 @@
 #include "common/config.h"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -488,6 +491,34 @@ saveConfigFile(const std::string &path, const ConfigValue &value)
     out << value.dump(/*pretty=*/true) << "\n";
     if (!out)
         return internalError("write to '" + path + "' failed");
+    return Status::ok();
+}
+
+Status
+saveConfigFileAtomic(const std::string &path, const ConfigValue &value)
+{
+    // Same-directory temp file: rename(2) is only atomic within one
+    // filesystem. The pid suffix keeps two processes snapshotting the
+    // same path from clobbering each other's temp files.
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(temp);
+        if (!out)
+            return invalidArgument("cannot open '" + temp
+                                   + "' for writing");
+        out << value.dump(/*pretty=*/true) << "\n";
+        out.flush();
+        if (!out) {
+            std::remove(temp.c_str());
+            return internalError("write to '" + temp + "' failed");
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return internalError("rename '" + temp + "' -> '" + path
+                             + "' failed");
+    }
     return Status::ok();
 }
 

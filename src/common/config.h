@@ -100,6 +100,15 @@ StatusOr<ConfigValue> loadConfigFile(const std::string &path);
 /** Writes @p value as pretty JSON to @p path. */
 Status saveConfigFile(const std::string &path, const ConfigValue &value);
 
+/**
+ * Atomically replaces @p path with @p value: the document is written
+ * to a same-directory temp file and rename(2)d over the target, so a
+ * concurrent reader sees either the old or the new document, never a
+ * torn one. The daemon's periodic TuneCache snapshots rely on this.
+ */
+Status saveConfigFileAtomic(const std::string &path,
+                            const ConfigValue &value);
+
 } // namespace cimmlc
 
 #endif // CIMMLC_COMMON_CONFIG_H

@@ -1,0 +1,13 @@
+#include "common/version.h"
+
+namespace cimmlc {
+
+const char *
+cimmlcVersion()
+{
+    // Bumped when the report/rpc wire surface changes shape; the daemon
+    // handshake compares this string verbatim.
+    return "0.8.0";
+}
+
+} // namespace cimmlc

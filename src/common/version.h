@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Compiler version identity, shared by the CLI (`cimmlc --version`),
+ * the `cimmlc.report.v1` document (`compiler_version` key), and the
+ * `cimmlc.rpc.v1` daemon handshake so clients can detect daemon/CLI
+ * skew before submitting work.
+ */
+#ifndef CIMMLC_COMMON_VERSION_H
+#define CIMMLC_COMMON_VERSION_H
+
+namespace cimmlc {
+
+/** Semantic version of the compiler stack, e.g. "0.8.0". */
+const char *cimmlcVersion();
+
+} // namespace cimmlc
+
+#endif // CIMMLC_COMMON_VERSION_H

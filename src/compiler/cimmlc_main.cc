@@ -52,6 +52,18 @@
  *                       --arch-dse (0 = hardware concurrency)
  *   --serial            force the serial path (reference/debug)
  *   --check-kvjson PATH parse a kvjson file and exit 0/1 (CI helper)
+ *   --connect SOCK      submit the compile to a running cimmlcd over
+ *                       its Unix-domain socket instead of compiling
+ *                       in-process; streams per-stage events to stderr
+ *                       and prints the daemon's report (byte-identical
+ *                       to the in-process --report json document,
+ *                       timing fields aside)
+ *   --connect-tcp H:P   like --connect over localhost TCP
+ *   --daemon-stats      (client mode) print the daemon's cimmlc.stats.v1
+ *                       snapshot: queue depth, cache hit rates, and
+ *                       per-stage latency histograms
+ *   --daemon-shutdown   (client mode) ask the daemon to drain and exit
+ *   --version           print the compiler version and exit
  *   --list-models / --list-archs
  *   --help / -h
  */
@@ -59,12 +71,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "arch/presets.h"
 #include "common/config.h"
+#include "common/strutil.h"
+#include "common/version.h"
 #include "compiler/batch.h"
 #include "compiler/session.h"
+#include "daemon/client.h"
 #include "dse/arch_explorer.h"
 #include "graph/models.h"
 #include "sched/autotune.h"
@@ -102,6 +119,10 @@ struct CliArgs {
     bool lint_strict = false;
     std::string perf_engine = "closed_form";
     bool perf_engine_explicit = false;
+    std::string connect;     //!< daemon unix socket ("" = in-process)
+    std::string connect_tcp; //!< daemon HOST:PORT ("" = unix/in-process)
+    bool daemon_stats = false;
+    bool daemon_shutdown = false;
 };
 
 void
@@ -128,9 +149,12 @@ printUsage(std::FILE *out, const char *argv0)
         "          [--search-budget N] [--threads N] [--serial] "
         "[--report text|json]\n"
         "          [--perf-engine closed_form|event]\n"
+        "       %s --connect SOCK | --connect-tcp HOST:PORT\n"
+        "          [--model NAME | --model-file PATH] [compile flags]\n"
+        "          [--daemon-stats] [--daemon-shutdown]\n"
         "          [--check-kvjson PATH]\n"
-        "          [--list-models] [--list-archs] [--help]\n",
-        argv0, argv0, argv0);
+        "          [--list-models] [--list-archs] [--version] [--help]\n",
+        argv0, argv0, argv0, argv0);
 }
 
 int
@@ -483,6 +507,149 @@ runSingle(const CliArgs &args)
     return 0;
 }
 
+/** Reads a whole file as text (for inlining --model-file/--arch-file
+ * into an rpc request — the daemon never sees client paths). */
+bool
+readFileText(const std::string &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *out = buffer.str();
+    return true;
+}
+
+/** Client mode: route the request to a running cimmlcd. */
+int
+runClient(const CliArgs &args)
+{
+    StatusOr<DaemonClient> connected = [&]() -> StatusOr<DaemonClient> {
+        if (!args.connect.empty())
+            return DaemonClient::connectUnixSocket(args.connect);
+        const auto colon = args.connect_tcp.rfind(':');
+        std::int64_t port = 0;
+        if (colon == std::string::npos
+            || !parseInt64(args.connect_tcp.substr(colon + 1), &port))
+            return invalidArgument("--connect-tcp expects HOST:PORT, got '"
+                                   + args.connect_tcp + "'");
+        return DaemonClient::connectTcpSocket(
+            args.connect_tcp.substr(0, colon), static_cast<int>(port));
+    }();
+    if (!connected.isOk()) {
+        std::fprintf(stderr, "%s\n",
+                     connected.status().toString().c_str());
+        return 1;
+    }
+    DaemonClient client = std::move(connected).value();
+    if (client.versionSkew()) {
+        std::fprintf(stderr,
+                     "warning: daemon is cimmlc %s, this client is %s "
+                     "(reports may differ)\n",
+                     client.serverVersion().c_str(), cimmlcVersion());
+    }
+
+    if (args.daemon_shutdown) {
+        const Status bye = client.shutdownServer();
+        if (!bye.isOk()) {
+            std::fprintf(stderr, "%s\n", bye.toString().c_str());
+            return 1;
+        }
+        std::printf("daemon shutdown requested\n");
+        return 0;
+    }
+    if (args.daemon_stats) {
+        auto stats = client.stats();
+        if (!stats.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         stats.status().toString().c_str());
+            return 1;
+        }
+        std::printf("%s\n", stats.value().dump(true).c_str());
+        return 0;
+    }
+
+    RpcCompileRequest request;
+    request.model = args.model;
+    if (!args.model_file.empty()
+        && !readFileText(args.model_file, &request.model_text))
+        return 1;
+    if (!args.arch_file.empty()
+        && !readFileText(args.arch_file, &request.arch_text))
+        return 1;
+    // Both sources are forwarded when both were spelled out, so the
+    // daemon rejects the conflict exactly like the in-process path.
+    if (args.arch_explicit || args.arch_file.empty())
+        request.arch = args.arch;
+    request.opt = args.opt;
+    request.tune = args.autotune;
+    request.objective = args.objective;
+    request.search_budget = args.search_budget;
+    request.perf_engine = args.perf_engine;
+    request.lint = args.lint;
+    request.lint_strict = args.lint_strict;
+    request.verify = args.verify;
+
+    const bool json = args.report == "json";
+    auto response = client.compile(
+        request, [json](const std::string &stage,
+                        const std::string &status, double wall_ms,
+                        const std::string &detail) {
+            // Progress goes to stderr so stdout stays a pure report.
+            std::fprintf(stderr, "[%s] %s %.2f ms%s%s\n", stage.c_str(),
+                         status.c_str(), wall_ms,
+                         detail.empty() ? "" : " - ", detail.c_str());
+        });
+    if (!response.isOk()) {
+        std::fprintf(stderr, "%s\n",
+                     response.status().toString().c_str());
+        return 1;
+    }
+    if (json) {
+        std::printf("%s\n", response.value().report_json.c_str());
+        return 0;
+    }
+    auto report = parseConfig(response.value().report_json);
+    if (!report.isOk()) {
+        std::fprintf(stderr, "daemon sent an unparseable report: %s\n",
+                     report.status().toString().c_str());
+        return 1;
+    }
+    const ConfigValue &doc = report.value();
+    if (response.value().cached)
+        std::printf("(served from the daemon's artifact memo)\n");
+    if (doc.has("workload")) {
+        const ConfigValue workload = doc.get("workload").value();
+        std::printf("workload: %s (%lld nodes, %lld weights)\n",
+                    workload.getStringOr("name", "?").c_str(),
+                    static_cast<long long>(workload.getIntOr("nodes", 0)),
+                    static_cast<long long>(
+                        workload.getIntOr("weights", 0)));
+    }
+    if (doc.has("perf"))
+        std::printf("perf: %s\n",
+                    doc.get("perf").value().getStringOr("text", "?")
+                        .c_str());
+    if (doc.has("flow"))
+        std::printf("flow: %s\n",
+                    doc.get("flow").value().getStringOr("summary", "?")
+                        .c_str());
+    if (doc.has("verify")) {
+        const ConfigValue verify = doc.get("verify").value();
+        std::printf("verify: %s (%lld elements)\n",
+                    verify.getBoolOr("match", false) ? "BIT-EXACT MATCH"
+                                                     : "MISMATCH",
+                    static_cast<long long>(
+                        verify.getIntOr("elements_checked", 0)));
+        if (!verify.getBoolOr("match", false))
+            return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -496,6 +663,10 @@ main(int argc, char **argv)
         };
         if (flag == "--help" || flag == "-h") {
             printUsage(stdout, argv[0]);
+            return 0;
+        }
+        if (flag == "--version") {
+            std::printf("cimmlc %s\n", cimmlcVersion());
             return 0;
         }
         if (flag == "--list-models") {
@@ -622,6 +793,20 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             args.perf_engine = v;
             args.perf_engine_explicit = true;
+        } else if (flag == "--connect") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.connect = v;
+        } else if (flag == "--connect-tcp") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.connect_tcp = v;
+        } else if (flag == "--daemon-stats") {
+            args.daemon_stats = true;
+        } else if (flag == "--daemon-shutdown") {
+            args.daemon_shutdown = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             return usage(argv[0]);
@@ -634,6 +819,37 @@ main(int argc, char **argv)
     // does not read them.
     const bool batch_mode = !args.batch_file.empty();
     const bool dse_mode = !args.arch_dse_file.empty();
+    const bool client_mode =
+        !args.connect.empty() || !args.connect_tcp.empty();
+    if (!args.connect.empty() && !args.connect_tcp.empty()) {
+        std::fprintf(stderr,
+                     "--connect and --connect-tcp are exclusive\n");
+        return usage(argv[0]);
+    }
+    if ((args.daemon_stats || args.daemon_shutdown) && !client_mode) {
+        std::fprintf(stderr, "--daemon-stats/--daemon-shutdown need "
+                             "--connect or --connect-tcp\n");
+        return usage(argv[0]);
+    }
+    if (client_mode) {
+        // The daemon owns scheduling, caching, and rendering; flags
+        // that only make sense in-process are hard errors here.
+        if (batch_mode || dse_mode || !args.tune_cache_file.empty()
+            || args.threads >= 0 || args.serial || args.print_flow
+            || args.print_schedule || args.autotune_verbose) {
+            std::fprintf(stderr,
+                         "--connect/--connect-tcp submits one compile "
+                         "to a daemon; --batch, --arch-dse, "
+                         "--tune-cache, --threads, --serial, "
+                         "--print-flow, --print-schedule, and "
+                         "--autotune-verbose stay local\n");
+            return usage(argv[0]);
+        }
+        if (!args.daemon_stats && !args.daemon_shutdown
+            && args.model.empty() && args.model_file.empty())
+            return usage(argv[0]);
+        return runClient(args);
+    }
     if (batch_mode && dse_mode) {
         std::fprintf(stderr,
                      "--batch and --arch-dse are exclusive modes\n");

@@ -5,6 +5,7 @@
 #include "arch/presets.h"
 #include "arch/serialize.h"
 #include "common/strutil.h"
+#include "common/version.h"
 #include "graph/analysis.h"
 #include "graph/models.h"
 #include "graph/serialize.h"
@@ -175,6 +176,7 @@ CompileArtifacts::toConfig() const
 {
     ConfigValue::Object doc;
     doc["schema"] = text("cimmlc.report.v1");
+    doc["compiler_version"] = text(cimmlcVersion());
 
     ConfigValue::Object workload_obj;
     workload_obj["name"] = text(workload);
@@ -586,6 +588,10 @@ CompilerSession::run()
           CompileStage::kSchedule, CompileStage::kCodegen,
           CompileStage::kLint, CompileStage::kPerf,
           CompileStage::kVerify}) {
+        if (cancel_check_ && cancel_check_())
+            return Status(StatusCode::kFailedPrecondition,
+                          strformat("canceled before the %s stage",
+                                    compileStageName(stage)));
         if (stageEnabled(stage))
             CIMMLC_RETURN_IF_ERROR(runStage(stage, artifacts));
         if (stage == request_.stop_after)

@@ -244,10 +244,25 @@ class CompilerSession
     {
     }
 
+    //! polled between stages; returning true aborts the run
+    using CancelCheck = std::function<bool()>;
+
     const CompileRequest &request() const { return request_; }
     void setObserver(StageObserver observer)
     {
         observer_ = std::move(observer);
+    }
+
+    /**
+     * Installs a cancellation poll. run() consults it before every
+     * stage and aborts with kFailedPrecondition ("canceled") when it
+     * returns true — the compile daemon uses this to stop a session
+     * whose client disconnected mid-compile. Stages themselves are not
+     * interrupted; cancellation lands at the next stage boundary.
+     */
+    void setCancelCheck(CancelCheck check)
+    {
+        cancel_check_ = std::move(check);
     }
 
     /**
@@ -277,6 +292,7 @@ class CompilerSession
 
     CompileRequest request_;
     StageObserver observer_;
+    CancelCheck cancel_check_;
     std::optional<Graph> owned_graph_;
     std::optional<CimArchitecture> owned_arch_;
     const Graph *graph_ = nullptr;

@@ -1,0 +1,108 @@
+#include "daemon/client.h"
+
+#include "common/version.h"
+
+namespace cimmlc {
+
+StatusOr<DaemonClient>
+DaemonClient::connectUnixSocket(const std::string &path)
+{
+    CIMMLC_ASSIGN_OR_RETURN(Socket socket, connectUnix(path));
+    return handshake(std::move(socket));
+}
+
+StatusOr<DaemonClient>
+DaemonClient::connectTcpSocket(const std::string &host, int port)
+{
+    CIMMLC_ASSIGN_OR_RETURN(Socket socket, connectTcp(host, port));
+    return handshake(std::move(socket));
+}
+
+StatusOr<DaemonClient>
+DaemonClient::handshake(Socket socket)
+{
+    DaemonClient client(std::move(socket));
+    CIMMLC_ASSIGN_OR_RETURN(ConfigValue hello,
+                            recvFrame(client.socket_));
+    if (!hello.isObject()
+        || hello.getStringOr("type", "") != "hello")
+        return parseError("daemon handshake: expected a hello frame");
+    client.schema_ = hello.getStringOr("schema", "");
+    client.version_ = hello.getStringOr("compiler_version", "");
+    if (client.schema_ != kRpcSchema)
+        return invalidArgument("daemon speaks schema '" + client.schema_
+                               + "', this client needs '" + kRpcSchema
+                               + "'");
+    return client;
+}
+
+bool
+DaemonClient::versionSkew() const
+{
+    return version_ != cimmlcVersion();
+}
+
+StatusOr<RpcCompileResponse>
+DaemonClient::compile(const RpcCompileRequest &request,
+                      const EventCallback &on_event)
+{
+    RpcCompileRequest wired = request;
+    wired.id = next_id_++;
+    CIMMLC_RETURN_IF_ERROR(sendFrame(socket_, wired.toConfig()));
+
+    RpcCompileResponse response;
+    for (;;) {
+        CIMMLC_ASSIGN_OR_RETURN(ConfigValue frame, recvFrame(socket_));
+        if (!frame.isObject())
+            return parseError("daemon sent a non-object frame");
+        const std::string type = frame.getStringOr("type", "");
+        if (frame.getIntOr("id", -1) != wired.id)
+            return internalError(
+                "daemon reply id does not match the request (pipelined "
+                "use needs one DaemonClient per thread)");
+        if (type == "event") {
+            ++response.events;
+            if (on_event)
+                on_event(frame.getStringOr("stage", ""),
+                         frame.getStringOr("status", ""),
+                         frame.getNumberOr("wall_ms", 0.0),
+                         frame.getStringOr("detail", ""));
+            continue;
+        }
+        if (type == "report") {
+            response.report_json = frame.getStringOr("report", "");
+            response.cached = frame.getBoolOr("cached", false);
+            return response;
+        }
+        if (type == "error")
+            return statusFromErrorFrame(frame);
+        return parseError("unexpected frame type '" + type
+                          + "' while waiting for a compile reply");
+    }
+}
+
+StatusOr<ConfigValue>
+DaemonClient::stats()
+{
+    const std::int64_t id = next_id_++;
+    CIMMLC_RETURN_IF_ERROR(sendFrame(socket_, statsRequestFrame(id)));
+    CIMMLC_ASSIGN_OR_RETURN(ConfigValue frame, recvFrame(socket_));
+    if (!frame.isObject()
+        || frame.getStringOr("type", "") != "stats_report"
+        || frame.getIntOr("id", -1) != id)
+        return parseError("daemon sent an unexpected stats reply");
+    return frame.get("stats");
+}
+
+Status
+DaemonClient::shutdownServer()
+{
+    const std::int64_t id = next_id_++;
+    CIMMLC_RETURN_IF_ERROR(sendFrame(socket_, shutdownRequestFrame(id)));
+    CIMMLC_ASSIGN_OR_RETURN(ConfigValue frame, recvFrame(socket_));
+    if (!frame.isObject() || frame.getStringOr("type", "") != "bye")
+        return parseError("daemon sent an unexpected shutdown reply");
+    return Status::ok();
+}
+
+} // namespace cimmlc

@@ -1,0 +1,223 @@
+#include "daemon/protocol.h"
+
+#include <set>
+
+#include "common/strutil.h"
+#include "common/version.h"
+
+namespace cimmlc {
+
+namespace {
+
+ConfigValue
+text(std::string v)
+{
+    return ConfigValue::makeString(std::move(v));
+}
+
+ConfigValue
+number(std::int64_t v)
+{
+    return ConfigValue::makeNumber(static_cast<double>(v));
+}
+
+} // namespace
+
+// ----- RpcCompileRequest ----------------------------------------------------
+
+ConfigValue
+RpcCompileRequest::toConfig() const
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("compile");
+    doc["id"] = number(id);
+    doc["model"] = text(model);
+    doc["model_text"] = text(model_text);
+    doc["arch"] = text(arch);
+    doc["arch_text"] = text(arch_text);
+    doc["opt"] = text(opt);
+    doc["tune"] = ConfigValue::makeBool(tune);
+    doc["objective"] = text(objective);
+    doc["search_budget"] = number(search_budget);
+    doc["perf_engine"] = text(perf_engine);
+    doc["lint"] = ConfigValue::makeBool(lint);
+    doc["lint_strict"] = ConfigValue::makeBool(lint_strict);
+    doc["verify"] = ConfigValue::makeBool(verify);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+std::string
+RpcCompileRequest::fingerprint() const
+{
+    RpcCompileRequest canonical = *this;
+    canonical.id = 0;
+    // ConfigValue objects are key-sorted maps, so the compact dump of
+    // the fully-explicit form is already canonical.
+    return canonical.toConfig().dump(/*pretty=*/false);
+}
+
+StatusOr<CompileRequest>
+RpcCompileRequest::toCompileRequest(TuneCache *tune_cache) const
+{
+    CompileRequest request;
+    request.model = model;
+    request.model_text = model_text;
+    request.arch = arch;
+    request.arch_text = arch_text;
+    request.opt = opt;
+    if (tune) {
+        request.tune = true;
+        CIMMLC_ASSIGN_OR_RETURN(request.objective,
+                                parseTuneObjective(objective));
+        request.threads = 1;
+        request.tune_cache = tune_cache;
+        if (search_budget >= 0)
+            request.search_budget.max_full_evals = search_budget;
+    }
+    CIMMLC_ASSIGN_OR_RETURN(request.perf_engine,
+                            parsePerfEngineKind(perf_engine));
+    request.lint = lint;
+    request.lint_strict = lint_strict;
+    request.outputs.verify = verify;
+    CIMMLC_RETURN_IF_ERROR(request.validate().withContext("rpc compile"));
+    return request;
+}
+
+StatusOr<RpcCompileRequest>
+parseCompileFrame(const ConfigValue &doc)
+{
+    if (!doc.isObject())
+        return parseError("compile frame is not an object");
+    static const std::set<std::string> known = {
+        "type",         "id",          "model",      "model_text",
+        "arch",         "arch_text",   "opt",        "tune",
+        "objective",    "search_budget", "perf_engine", "lint",
+        "lint_strict",  "verify",
+    };
+    for (const auto &[key, value] : doc.asObject()) {
+        (void)value;
+        if (known.find(key) == known.end())
+            return invalidArgument(
+                "compile frame has unknown key '" + key
+                + "' (daemon/client version skew?)");
+    }
+    RpcCompileRequest request;
+    request.id = doc.getIntOr("id", -1);
+    if (request.id < 0)
+        return invalidArgument(
+            "compile frame needs a non-negative integer 'id'");
+    request.model = doc.getStringOr("model", "");
+    request.model_text = doc.getStringOr("model_text", "");
+    request.arch = doc.getStringOr("arch", "");
+    request.arch_text = doc.getStringOr("arch_text", "");
+    request.opt = doc.getStringOr("opt", "full");
+    request.tune = doc.getBoolOr("tune", false);
+    request.objective = doc.getStringOr("objective", "latency");
+    request.search_budget = doc.getIntOr("search_budget", -1);
+    request.perf_engine = doc.getStringOr("perf_engine", "closed_form");
+    request.lint = doc.getBoolOr("lint", false);
+    request.lint_strict = doc.getBoolOr("lint_strict", false);
+    request.verify = doc.getBoolOr("verify", false);
+    return request;
+}
+
+// ----- frame builders -------------------------------------------------------
+
+ConfigValue
+helloFrame(std::int64_t max_inflight, std::int64_t max_queue_depth)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("hello");
+    doc["schema"] = text(kRpcSchema);
+    doc["compiler_version"] = text(cimmlcVersion());
+    doc["max_inflight"] = number(max_inflight);
+    doc["max_queue_depth"] = number(max_queue_depth);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+eventFrame(std::int64_t id, const StageTrace &trace)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("event");
+    doc["id"] = number(id);
+    doc["stage"] = text(compileStageName(trace.stage));
+    doc["status"] = text(trace.status.toString());
+    doc["wall_ms"] = ConfigValue::makeNumber(trace.wall_ms);
+    if (!trace.detail.empty())
+        doc["detail"] = text(trace.detail);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+reportFrame(std::int64_t id, const std::string &report_json, bool cached)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("report");
+    doc["id"] = number(id);
+    doc["cached"] = ConfigValue::makeBool(cached);
+    doc["report"] = text(report_json);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+errorFrame(std::int64_t id, const Status &status)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("error");
+    doc["id"] = number(id);
+    doc["code"] = number(static_cast<std::int64_t>(status.code()));
+    doc["message"] = text(status.message());
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+statsRequestFrame(std::int64_t id)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("stats");
+    doc["id"] = number(id);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+shutdownRequestFrame(std::int64_t id)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("shutdown");
+    doc["id"] = number(id);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+statsReportFrame(std::int64_t id, ConfigValue payload)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("stats_report");
+    doc["id"] = number(id);
+    doc["stats"] = std::move(payload);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+ConfigValue
+byeFrame(std::int64_t id)
+{
+    ConfigValue::Object doc;
+    doc["type"] = text("bye");
+    doc["id"] = number(id);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+Status
+statusFromErrorFrame(const ConfigValue &doc)
+{
+    const std::int64_t code = doc.getIntOr("code", -1);
+    if (code <= 0
+        || code > static_cast<std::int64_t>(StatusCode::kParseError))
+        return internalError("daemon error: "
+                             + doc.getStringOr("message", "(no message)"));
+    return Status(static_cast<StatusCode>(code),
+                  doc.getStringOr("message", ""));
+}
+
+} // namespace cimmlc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * `cimmlc.rpc.v1` — the frame vocabulary of the compile-service daemon.
+ *
+ * Every frame is one kvjson object (transported by common/socket.h
+ * framing) with a "type" key:
+ *
+ *   server -> client on connect:   hello       (schema, compiler_version)
+ *   client -> server:              compile     (id + request fields)
+ *                                  stats       (id)
+ *                                  shutdown    (id; drain and exit)
+ *   server -> client per compile:  event*      (id, stage, wall_ms, ...)
+ *                                  report|error (id; terminal)
+ *   server -> client per stats:    stats_report (id, payload)
+ *   server -> client per shutdown: bye          (id)
+ *
+ * Ordering guarantees: frames for one request id arrive in stage order
+ * with the terminal frame last; frames for different ids from one
+ * connection may interleave (the daemon may run a connection's queued
+ * requests concurrently when it has spare in-flight slots).
+ *
+ * A compile request carries the workload and architecture **by value**
+ * (preset name or inline kvjson text) — the daemon never reads client
+ * file paths, so it can serve containerized clients. The client CLI
+ * inlines --model-file/--arch-file contents before submitting.
+ */
+#ifndef CIMMLC_DAEMON_PROTOCOL_H
+#define CIMMLC_DAEMON_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "compiler/session.h"
+
+namespace cimmlc {
+
+/** Schema tag carried by the hello frame. */
+constexpr const char *kRpcSchema = "cimmlc.rpc.v1";
+
+/**
+ * A compile request as it travels over the wire. Field semantics match
+ * CompileRequest; the daemon maps it with toCompileRequest() so a
+ * daemon-served compile is byte-identical to `cimmlc --report json`
+ * run in-process (timing fields aside).
+ */
+struct RpcCompileRequest {
+    std::int64_t id = 0;      //!< client-chosen, echoed on every reply
+    std::string model;        //!< preset name (models::byName)
+    std::string model_text;   //!< inline kvjson graph
+    std::string arch;         //!< preset name (presets::byName)
+    std::string arch_text;    //!< inline kvjson Abs-arch
+    std::string opt = "full"; //!< none | cg | cg+mvm | full
+    bool tune = false;
+    std::string objective = "latency";
+    std::int64_t search_budget = -1; //!< -1 = exhaustive
+    std::string perf_engine = "closed_form";
+    bool lint = false;
+    bool lint_strict = false;
+    bool verify = false;
+
+    /** Serializes every field explicitly (canonical form: two requests
+     * meaning the same compile dump identically, which is what the
+     * daemon's artifact memo keys on). */
+    ConfigValue toConfig() const;
+
+    /** The daemon's artifact-memo key: the canonical dump minus the
+     * client-chosen id. */
+    std::string fingerprint() const;
+
+    /**
+     * Maps the wire request onto a staged-session CompileRequest.
+     * @p tune_cache is the daemon's shared warm cache (may be null).
+     * The tune stage runs serial (threads=1): daemon concurrency comes
+     * from running many sessions, not from oversubscribing one.
+     */
+    StatusOr<CompileRequest> toCompileRequest(TuneCache *tune_cache) const;
+};
+
+/** Parses a compile frame. Unknown keys are an error (they usually
+ * mean daemon/client version skew, which should be loud). */
+StatusOr<RpcCompileRequest> parseCompileFrame(const ConfigValue &doc);
+
+// ----- frame builders -------------------------------------------------------
+
+/** Server handshake: schema + compiler_version (+ the daemon's limits,
+ * informational). */
+ConfigValue helloFrame(std::int64_t max_inflight,
+                       std::int64_t max_queue_depth);
+
+/** One per-stage progress event mirroring a session StageTrace. */
+ConfigValue eventFrame(std::int64_t id, const StageTrace &trace);
+
+/** Terminal success frame; @p report_json is the pretty
+ * `cimmlc.report.v1` dump, @p cached marks an artifact-memo hit. */
+ConfigValue reportFrame(std::int64_t id, const std::string &report_json,
+                        bool cached);
+
+/** Terminal failure frame carrying @p status. */
+ConfigValue errorFrame(std::int64_t id, const Status &status);
+
+/** Client stats / shutdown requests. */
+ConfigValue statsRequestFrame(std::int64_t id);
+ConfigValue shutdownRequestFrame(std::int64_t id);
+
+/** Server stats / shutdown replies. */
+ConfigValue statsReportFrame(std::int64_t id, ConfigValue payload);
+ConfigValue byeFrame(std::int64_t id);
+
+/** Extracts an error frame's Status (code + message round-trip). */
+Status statusFromErrorFrame(const ConfigValue &doc);
+
+} // namespace cimmlc
+
+#endif // CIMMLC_DAEMON_PROTOCOL_H

@@ -1,0 +1,96 @@
+#include "daemon/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace cimmlc {
+
+FairScheduler::FairScheduler(SchedulerLimits limits) : limits_(limits)
+{
+    limits_.max_inflight = std::max<std::int64_t>(1, limits_.max_inflight);
+    limits_.max_queue_depth =
+        std::max<std::int64_t>(0, limits_.max_queue_depth);
+}
+
+void
+FairScheduler::addClient(std::uint64_t client, int weight)
+{
+    auto [it, inserted] = clients_.try_emplace(client);
+    if (inserted)
+        it->second.weight = std::clamp(weight, 1, 16);
+}
+
+Status
+FairScheduler::admit(SchedulerJob job)
+{
+    if (queued_ >= limits_.max_queue_depth)
+        return resourceExhausted(strformat(
+            "admission rejected: queue full (%lld waiting, limit %lld)",
+            static_cast<long long>(queued_),
+            static_cast<long long>(limits_.max_queue_depth)));
+    addClient(job.client);
+    ClientQueue &queue = clients_[job.client];
+    const bool was_idle = queue.jobs.empty();
+    queue.jobs.push_back(std::move(job));
+    ++queued_;
+    if (was_idle)
+        rr_.push_back(queue.jobs.back().client);
+    return Status::ok();
+}
+
+std::optional<SchedulerJob>
+FairScheduler::next()
+{
+    if (inflight_ >= limits_.max_inflight || rr_.empty())
+        return std::nullopt;
+    // The head client dispatches until its weight's worth of credit is
+    // spent or its FIFO drains, then rotates to the back.
+    const std::uint64_t client = rr_.front();
+    auto it = clients_.find(client);
+    CIMMLC_CHECK(it != clients_.end());
+    ClientQueue &queue = it->second;
+    CIMMLC_CHECK(!queue.jobs.empty());
+    if (queue.turn_credit <= 0)
+        queue.turn_credit = queue.weight;
+
+    SchedulerJob job = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    --queued_;
+    ++inflight_;
+    --queue.turn_credit;
+
+    if (queue.jobs.empty()) {
+        queue.turn_credit = 0;
+        rr_.pop_front();
+    } else if (queue.turn_credit <= 0) {
+        rr_.pop_front();
+        rr_.push_back(client);
+    }
+    return job;
+}
+
+void
+FairScheduler::finish()
+{
+    CIMMLC_CHECK_GT(inflight_, 0);
+    --inflight_;
+}
+
+std::vector<SchedulerJob>
+FairScheduler::dropClient(std::uint64_t client)
+{
+    std::vector<SchedulerJob> dropped;
+    auto it = clients_.find(client);
+    if (it == clients_.end())
+        return dropped;
+    for (SchedulerJob &job : it->second.jobs)
+        dropped.push_back(std::move(job));
+    queued_ -= static_cast<std::int64_t>(dropped.size());
+    clients_.erase(it);
+    rr_.erase(std::remove(rr_.begin(), rr_.end(), client), rr_.end());
+    return dropped;
+}
+
+} // namespace cimmlc

@@ -1,0 +1,180 @@
+#include "daemon/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cimmlc {
+
+namespace {
+
+ConfigValue
+number(double v)
+{
+    return ConfigValue::makeNumber(v);
+}
+
+ConfigValue
+number(std::int64_t v)
+{
+    return ConfigValue::makeNumber(static_cast<double>(v));
+}
+
+} // namespace
+
+// ----- LatencyHistogram -----------------------------------------------------
+
+void
+LatencyHistogram::record(double ms)
+{
+    ms = std::max(ms, 0.0);
+    int bucket = 0;
+    if (ms >= 1.0) {
+        bucket = static_cast<int>(std::floor(std::log2(ms))) + 1;
+        bucket = std::min(bucket, kBuckets - 1);
+    }
+    ++buckets_[bucket];
+    ++count_;
+    total_ms_ += ms;
+    max_ms_ = std::max(max_ms_, ms);
+}
+
+double
+LatencyHistogram::quantileMs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::int64_t target = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(q * count_)));
+    std::int64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            // Upper bound of bucket i, clamped to the observed max so
+            // a lone 3 ms sample reports p99 = 3 ms, not 4 ms.
+            const double upper = i == 0 ? 1.0 : std::pow(2.0, i);
+            return std::min(upper, max_ms_);
+        }
+    }
+    return max_ms_;
+}
+
+ConfigValue
+LatencyHistogram::toConfig() const
+{
+    ConfigValue::Object doc;
+    doc["count"] = number(count_);
+    doc["total_ms"] = number(total_ms_);
+    doc["mean_ms"] =
+        number(count_ > 0 ? total_ms_ / static_cast<double>(count_) : 0.0);
+    doc["max_ms"] = number(max_ms_);
+    doc["p50_ms"] = number(quantileMs(0.5));
+    doc["p99_ms"] = number(quantileMs(0.99));
+    // Trailing empty buckets are elided to keep stats frames small.
+    int last = kBuckets - 1;
+    while (last > 0 && buckets_[last] == 0)
+        --last;
+    ConfigValue::Array rows;
+    for (int i = 0; i <= last; ++i)
+        rows.push_back(number(buckets_[i]));
+    doc["buckets"] = ConfigValue::makeArray(std::move(rows));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+// ----- DaemonStats ----------------------------------------------------------
+
+void
+DaemonStats::recordAdmitted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++admitted_;
+}
+
+void
+DaemonStats::recordRejected()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+}
+
+void
+DaemonStats::recordCompleted(double total_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    total_.record(total_ms);
+}
+
+void
+DaemonStats::recordFailed()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failed_;
+}
+
+void
+DaemonStats::recordCanceled(std::int64_t dropped)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    canceled_ += dropped;
+}
+
+void
+DaemonStats::recordMemo(bool hit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (hit)
+        ++memo_hits_;
+    else
+        ++memo_misses_;
+}
+
+void
+DaemonStats::recordStage(const std::string &stage, double wall_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stages_[stage].record(wall_ms);
+}
+
+ConfigValue
+DaemonStats::toConfig(std::int64_t queue_depth, std::int64_t inflight,
+                      std::int64_t clients,
+                      std::int64_t tune_cache_entries,
+                      std::int64_t tune_cache_hits) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ConfigValue::Object doc;
+    doc["schema"] = ConfigValue::makeString("cimmlc.stats.v1");
+    doc["queue_depth"] = number(queue_depth);
+    doc["inflight"] = number(inflight);
+    doc["clients"] = number(clients);
+    doc["admitted"] = number(admitted_);
+    doc["rejected"] = number(rejected_);
+    doc["completed"] = number(completed_);
+    doc["failed"] = number(failed_);
+    doc["canceled"] = number(canceled_);
+
+    ConfigValue::Object memo;
+    memo["hits"] = number(memo_hits_);
+    memo["misses"] = number(memo_misses_);
+    const std::int64_t lookups = memo_hits_ + memo_misses_;
+    memo["hit_rate"] = number(
+        lookups > 0 ? static_cast<double>(memo_hits_)
+                          / static_cast<double>(lookups)
+                    : 0.0);
+    doc["artifact_memo"] = ConfigValue::makeObject(std::move(memo));
+
+    ConfigValue::Object tune;
+    tune["entries"] = number(tune_cache_entries);
+    tune["hits"] = number(tune_cache_hits);
+    doc["tune_cache"] = ConfigValue::makeObject(std::move(tune));
+
+    doc["latency"] = total_.toConfig();
+    ConfigValue::Object stage_rows;
+    for (const auto &[name, hist] : stages_)
+        stage_rows[name] = hist.toConfig();
+    doc["stage_latency"] = ConfigValue::makeObject(std::move(stage_rows));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+} // namespace cimmlc

@@ -420,7 +420,10 @@ TuneCache::loadFromConfig(const ConfigValue &doc)
 Status
 TuneCache::saveToFile(const std::string &path) const
 {
-    return saveConfigFile(path, toConfig());
+    // Atomic temp-file + rename: the daemon snapshots a live cache
+    // while other processes may be loading the same path, and a torn
+    // file would degrade every reader to a cold cache.
+    return saveConfigFileAtomic(path, toConfig());
 }
 
 Status

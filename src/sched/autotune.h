@@ -136,7 +136,9 @@ class TuneCache
      */
     Status loadFromConfig(const ConfigValue &doc);
 
-    /** Writes toConfig() as pretty kvjson to @p path. */
+    /** Atomically writes toConfig() as pretty kvjson to @p path
+     * (temp file + rename, so a concurrent loadFromFile never sees a
+     * torn document — the daemon snapshots a live cache). */
     Status saveToFile(const std::string &path) const;
 
     /** loadFromConfig over a kvjson file (same cold-cache-on-error

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Socket-level tests for the compile daemon: handshake, report
+ * byte-identity against an in-process session, the warm artifact memo,
+ * admission rejection under a full queue, cancel-on-disconnect, stats,
+ * shutdown, and tune-cache snapshotting. Each test runs its own
+ * DaemonServer on a unique /tmp Unix socket (or ephemeral TCP port);
+ * deterministic in-flight blocking uses the server's test-only
+ * compile hook.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <regex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "compiler/session.h"
+#include "daemon/client.h"
+#include "daemon/server.h"
+
+namespace cimmlc {
+namespace {
+
+std::string
+uniqueSocketPath(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/cimmlcd_t" + std::to_string(::getpid()) + "_" + tag
+           + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** Strips the nondeterministic per-stage timing from a report so two
+ * runs of the same compile can be compared byte for byte. */
+std::string
+normalizeWallMs(const std::string &report)
+{
+    static const std::regex wall("\"wall_ms\": [0-9.eE+-]+");
+    return std::regex_replace(report, wall, "\"wall_ms\": X");
+}
+
+RpcCompileRequest
+toyRequest(const std::string &model = "conv_relu_toy",
+           const std::string &arch = "tutorial")
+{
+    RpcCompileRequest request;
+    request.model = model;
+    request.arch = arch;
+    return request;
+}
+
+/** The in-process reference: what `cimmlc --report json` prints. */
+std::string
+localReport(const RpcCompileRequest &request)
+{
+    auto mapped = request.toCompileRequest(nullptr);
+    EXPECT_TRUE(mapped.isOk()) << mapped.status().toString();
+    CompilerSession session(std::move(mapped).value());
+    auto result = session.run();
+    EXPECT_TRUE(result.isOk()) << result.status().toString();
+    return result.value().toConfig().dump(/*pretty=*/true);
+}
+
+/** Polls @p predicate for up to five seconds. */
+bool
+eventually(const std::function<bool()> &predicate)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return predicate();
+}
+
+TEST(DaemonServerTest, RejectsConfigWithoutTransport)
+{
+    DaemonConfig config; // neither unix_path nor tcp_port
+    DaemonServer server(std::move(config));
+    EXPECT_FALSE(server.start().isOk());
+}
+
+TEST(DaemonServerTest, HandshakeCarriesSchemaAndVersion)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("hello");
+    config.threads = 1;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+
+    auto client = DaemonClient::connectUnixSocket(server.config().unix_path);
+    ASSERT_TRUE(client.isOk()) << client.status().toString();
+    EXPECT_EQ(client.value().serverSchema(), kRpcSchema);
+    EXPECT_FALSE(client.value().versionSkew());
+    server.stop();
+}
+
+TEST(DaemonServerTest, ReportMatchesInProcessSession)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("ident");
+    config.threads = 2;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+
+    const RpcCompileRequest request = toyRequest();
+    auto client = DaemonClient::connectUnixSocket(server.config().unix_path);
+    ASSERT_TRUE(client.isOk());
+    std::int64_t events = 0;
+    auto response = client.value().compile(
+        request, [&events](const std::string &, const std::string &,
+                           double, const std::string &) { ++events; });
+    ASSERT_TRUE(response.isOk()) << response.status().toString();
+    EXPECT_FALSE(response.value().cached);
+    // Every pipeline stage streamed a trace event before the report.
+    EXPECT_GE(events, 5);
+    EXPECT_EQ(normalizeWallMs(response.value().report_json),
+              normalizeWallMs(localReport(request)));
+    server.stop();
+}
+
+TEST(DaemonServerTest, TcpTransportServesTheSameReport)
+{
+    DaemonConfig config;
+    config.tcp_port = 0; // ephemeral
+    config.threads = 1;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+    ASSERT_GT(server.boundTcpPort(), 0);
+
+    auto client =
+        DaemonClient::connectTcpSocket("127.0.0.1", server.boundTcpPort());
+    ASSERT_TRUE(client.isOk()) << client.status().toString();
+    const RpcCompileRequest request = toyRequest();
+    auto response = client.value().compile(request);
+    ASSERT_TRUE(response.isOk()) << response.status().toString();
+    EXPECT_EQ(normalizeWallMs(response.value().report_json),
+              normalizeWallMs(localReport(request)));
+    server.stop();
+}
+
+TEST(DaemonServerTest, WarmMemoServesRepeatByteIdentical)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("memo");
+    config.threads = 1;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+
+    auto client = DaemonClient::connectUnixSocket(server.config().unix_path);
+    ASSERT_TRUE(client.isOk());
+    auto cold = client.value().compile(toyRequest());
+    ASSERT_TRUE(cold.isOk());
+    EXPECT_FALSE(cold.value().cached);
+
+    // Same request again — and from a different connection, to prove
+    // the memo is process-wide, not per-client.
+    auto client2 = DaemonClient::connectUnixSocket(server.config().unix_path);
+    ASSERT_TRUE(client2.isOk());
+    auto warm = client2.value().compile(toyRequest());
+    ASSERT_TRUE(warm.isOk());
+    EXPECT_TRUE(warm.value().cached);
+    // A memo hit replays the stored report: identical to the byte,
+    // wall_ms included.
+    EXPECT_EQ(warm.value().report_json, cold.value().report_json);
+    server.stop();
+}
+
+TEST(DaemonServerTest, ConcurrentMixedClientsStayByteIdentical)
+{
+    const std::vector<RpcCompileRequest> mix = {
+        toyRequest("conv_relu_toy", "tutorial"),
+        toyRequest("mlp", "jain"),
+        toyRequest("lenet5", "tutorial"),
+    };
+    std::vector<std::string> expected;
+    for (const RpcCompileRequest &request : mix)
+        expected.push_back(normalizeWallMs(localReport(request)));
+
+    for (int threads : {1, 2, 8}) {
+        DaemonConfig config;
+        config.unix_path = uniqueSocketPath("mix");
+        config.threads = threads;
+        config.max_inflight = threads;
+        DaemonServer server(std::move(config));
+        ASSERT_TRUE(server.start().isOk());
+
+        std::vector<std::string> got(mix.size());
+        std::vector<std::thread> clients;
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            clients.emplace_back([&, i] {
+                auto client = DaemonClient::connectUnixSocket(
+                    server.config().unix_path);
+                ASSERT_TRUE(client.isOk());
+                auto response = client.value().compile(mix[i]);
+                ASSERT_TRUE(response.isOk())
+                    << response.status().toString();
+                got[i] = normalizeWallMs(response.value().report_json);
+            });
+        }
+        for (std::thread &thread : clients)
+            thread.join();
+        for (std::size_t i = 0; i < mix.size(); ++i)
+            EXPECT_EQ(got[i], expected[i])
+                << "threads=" << threads << " request " << i;
+        server.stop();
+    }
+}
+
+TEST(DaemonServerTest, FullQueueRejectsWithResourceExhausted)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("adm");
+    config.threads = 2;
+    config.max_inflight = 1;
+    config.max_queue_depth = 1;
+    DaemonServer server(std::move(config));
+
+    // Gate: the first dispatched compile blocks inside the hook until
+    // released, pinning the single in-flight slot deterministically.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    int entered = 0;
+    bool release = false;
+    server.setCompileHook([&](const std::string &) {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        ++entered;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release; });
+    });
+    ASSERT_TRUE(server.start().isOk());
+    const std::string path = server.config().unix_path;
+
+    std::thread blocked([&] {
+        auto client = DaemonClient::connectUnixSocket(path);
+        ASSERT_TRUE(client.isOk());
+        auto response = client.value().compile(toyRequest());
+        EXPECT_TRUE(response.isOk()) << response.status().toString();
+    });
+    {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(5),
+                                     [&] { return entered == 1; }));
+    }
+
+    std::thread queued([&] {
+        auto client = DaemonClient::connectUnixSocket(path);
+        ASSERT_TRUE(client.isOk());
+        auto response =
+            client.value().compile(toyRequest("mlp", "jain"));
+        EXPECT_TRUE(response.isOk()) << response.status().toString();
+    });
+    ASSERT_TRUE(eventually([&] { return server.queueDepth() == 1; }));
+
+    // In-flight slot pinned, queue full: the third client is rejected.
+    auto client = DaemonClient::connectUnixSocket(path);
+    ASSERT_TRUE(client.isOk());
+    auto rejected =
+        client.value().compile(toyRequest("lenet5", "tutorial"));
+    ASSERT_FALSE(rejected.isOk());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    blocked.join();
+    queued.join();
+    server.stop();
+}
+
+TEST(DaemonServerTest, DisconnectMidCompileCancelsCleanly)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("cancel");
+    config.threads = 2;
+    config.max_inflight = 1;
+    DaemonServer server(std::move(config));
+
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    int entered = 0;
+    bool release = false;
+    server.setCompileHook([&](const std::string &) {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        ++entered;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return release; });
+    });
+    ASSERT_TRUE(server.start().isOk());
+    const std::string path = server.config().unix_path;
+
+    // A raw connection (no DaemonClient, which would block in compile):
+    // handshake, submit, then vanish while the job is in flight.
+    {
+        auto socket = connectUnix(path);
+        ASSERT_TRUE(socket.isOk());
+        ASSERT_TRUE(recvFrame(socket.value()).isOk()); // hello
+        RpcCompileRequest request = toyRequest();
+        request.id = 1;
+        ASSERT_TRUE(
+            sendFrame(socket.value(), request.toConfig()).isOk());
+        {
+            std::unique_lock<std::mutex> lock(gate_mutex);
+            ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(5),
+                                         [&] { return entered == 1; }));
+        }
+        // Socket closes here: the daemon must cancel, not crash.
+    }
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+
+    // The canceled session frees the slot; a fresh client is served.
+    auto client = DaemonClient::connectUnixSocket(path);
+    ASSERT_TRUE(client.isOk());
+    ASSERT_TRUE(eventually([&] {
+        auto stats = client.value().stats();
+        return stats.isOk() && stats.value().getIntOr("canceled", 0) >= 1;
+    }));
+    auto response = client.value().compile(toyRequest("mlp", "jain"));
+    ASSERT_TRUE(response.isOk()) << response.status().toString();
+    server.stop();
+}
+
+TEST(DaemonServerTest, StatsSnapshotCountsTraffic)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("stats");
+    config.threads = 1;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+
+    auto client = DaemonClient::connectUnixSocket(server.config().unix_path);
+    ASSERT_TRUE(client.isOk());
+    ASSERT_TRUE(client.value().compile(toyRequest()).isOk());
+    ASSERT_TRUE(client.value().compile(toyRequest()).isOk()); // memo hit
+    // The in-flight slot is released on the pool thread after the
+    // report frame goes out; wait for the gauge to settle.
+    ASSERT_TRUE(eventually([&] { return server.inflight() == 0; }));
+
+    auto stats = client.value().stats();
+    ASSERT_TRUE(stats.isOk()) << stats.status().toString();
+    const ConfigValue &doc = stats.value();
+    EXPECT_EQ(doc.getStringOr("schema", ""), "cimmlc.stats.v1");
+    EXPECT_EQ(doc.getIntOr("admitted", 0), 2);
+    EXPECT_EQ(doc.getIntOr("completed", 0), 2);
+    EXPECT_EQ(doc.getIntOr("queue_depth", -1), 0);
+    EXPECT_EQ(doc.getIntOr("inflight", -1), 0);
+    ASSERT_TRUE(doc.has("artifact_memo"));
+    const ConfigValue memo = doc.get("artifact_memo").value();
+    EXPECT_EQ(memo.getIntOr("hits", 0), 1);
+    EXPECT_EQ(memo.getIntOr("misses", 0), 1);
+    EXPECT_DOUBLE_EQ(memo.getNumberOr("hit_rate", 0.0), 0.5);
+    ASSERT_TRUE(doc.has("latency"));
+    EXPECT_EQ(doc.get("latency").value().getIntOr("count", 0), 2);
+    // Per-stage histograms exist for the pipeline's stages.
+    ASSERT_TRUE(doc.has("stage_latency"));
+    EXPECT_TRUE(doc.get("stage_latency").value().has("schedule"));
+    server.stop();
+}
+
+TEST(DaemonServerTest, ShutdownRequestStopsTheServer)
+{
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("bye");
+    config.threads = 1;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+
+    auto client = DaemonClient::connectUnixSocket(server.config().unix_path);
+    ASSERT_TRUE(client.isOk());
+    EXPECT_TRUE(client.value().shutdownServer().isOk());
+    // serveForever() would now return; stop() drains and is idempotent.
+    server.stop();
+    server.stop();
+}
+
+TEST(DaemonServerTest, TunedCompilesShareTheWarmCacheAndSnapshot)
+{
+    const std::string cache_path =
+        uniqueSocketPath("cachefile") + ".kvjson";
+    {
+        DaemonConfig config;
+        config.unix_path = uniqueSocketPath("tune");
+        config.threads = 1;
+        config.tune_cache_path = cache_path;
+        config.snapshot_every = 1;
+        DaemonServer server(std::move(config));
+        ASSERT_TRUE(server.start().isOk());
+
+        RpcCompileRequest request = toyRequest();
+        request.tune = true;
+        request.objective = "edp";
+        auto client =
+            DaemonClient::connectUnixSocket(server.config().unix_path);
+        ASSERT_TRUE(client.isOk());
+        auto response = client.value().compile(request);
+        ASSERT_TRUE(response.isOk()) << response.status().toString();
+        EXPECT_GT(server.tuneCache().size(), 0u);
+        // snapshot_every=1 persists the cache right after that compile
+        // (on the pool thread, after the reply frame — so poll).
+        TuneCache reloaded;
+        ASSERT_TRUE(eventually([&] {
+            return reloaded.loadFromFile(cache_path).isOk();
+        }));
+        EXPECT_EQ(reloaded.size(), server.tuneCache().size());
+        server.stop();
+    }
+    // A second daemon generation starts warm from the snapshot.
+    DaemonConfig config;
+    config.unix_path = uniqueSocketPath("tune2");
+    config.threads = 1;
+    config.tune_cache_path = cache_path;
+    DaemonServer server(std::move(config));
+    ASSERT_TRUE(server.start().isOk());
+    EXPECT_GT(server.tuneCache().size(), 0u);
+    server.stop();
+    std::remove(cache_path.c_str());
+}
+
+} // namespace
+} // namespace cimmlc

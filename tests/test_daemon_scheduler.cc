@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the daemon's policy layer, isolated from sockets and
+ * threads: FairScheduler admission control and weighted round-robin
+ * fairness, LatencyHistogram quantiles, and the `cimmlc.rpc.v1` frame
+ * vocabulary (parse round-trips, unknown-key rejection, and the
+ * id-invariant artifact-memo fingerprint).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.h"
+#include "daemon/scheduler.h"
+#include "daemon/stats.h"
+
+namespace cimmlc {
+namespace {
+
+SchedulerJob
+job(std::uint64_t client, std::int64_t id)
+{
+    SchedulerJob j;
+    j.client = client;
+    j.request_id = id;
+    j.run = [] {};
+    return j;
+}
+
+/** Drains the scheduler, returning jobs as "client:id" strings. */
+std::vector<std::string>
+drain(FairScheduler &sched)
+{
+    std::vector<std::string> order;
+    for (;;) {
+        auto next = sched.next();
+        if (!next.has_value())
+            break;
+        order.push_back(std::to_string(next->client) + ":"
+                        + std::to_string(next->request_id));
+        sched.finish();
+    }
+    return order;
+}
+
+TEST(FairSchedulerTest, RejectsWhenQueueFull)
+{
+    SchedulerLimits limits;
+    limits.max_queue_depth = 2;
+    FairScheduler sched(limits);
+    sched.addClient(1);
+    EXPECT_TRUE(sched.admit(job(1, 1)).isOk());
+    EXPECT_TRUE(sched.admit(job(1, 2)).isOk());
+    const Status rejected = sched.admit(job(1, 3));
+    EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(sched.queueDepth(), 2);
+
+    // Dispatching frees queue space: in-flight does not count.
+    ASSERT_TRUE(sched.next().has_value());
+    EXPECT_TRUE(sched.admit(job(1, 3)).isOk());
+}
+
+TEST(FairSchedulerTest, InflightLimitGatesDispatch)
+{
+    SchedulerLimits limits;
+    limits.max_inflight = 1;
+    FairScheduler sched(limits);
+    sched.addClient(1);
+    ASSERT_TRUE(sched.admit(job(1, 1)).isOk());
+    ASSERT_TRUE(sched.admit(job(1, 2)).isOk());
+
+    ASSERT_TRUE(sched.next().has_value());
+    EXPECT_EQ(sched.inflight(), 1);
+    EXPECT_FALSE(sched.next().has_value()); // at the limit
+    sched.finish();
+    EXPECT_TRUE(sched.next().has_value());
+}
+
+TEST(FairSchedulerTest, FifoWithinOneClient)
+{
+    FairScheduler sched({/*max_inflight=*/4, /*max_queue_depth=*/32});
+    sched.addClient(7);
+    for (std::int64_t id = 1; id <= 5; ++id)
+        ASSERT_TRUE(sched.admit(job(7, id)).isOk());
+    EXPECT_EQ(drain(sched),
+              (std::vector<std::string>{"7:1", "7:2", "7:3", "7:4",
+                                        "7:5"}));
+}
+
+TEST(FairSchedulerTest, RoundRobinAcrossClients)
+{
+    // Client 1 queues three jobs before client 2's arrive; round-robin
+    // still alternates instead of draining client 1 first.
+    FairScheduler sched({/*max_inflight=*/1, /*max_queue_depth=*/32});
+    sched.addClient(1);
+    sched.addClient(2);
+    for (std::int64_t id = 1; id <= 3; ++id)
+        ASSERT_TRUE(sched.admit(job(1, id)).isOk());
+    for (std::int64_t id = 1; id <= 3; ++id)
+        ASSERT_TRUE(sched.admit(job(2, id)).isOk());
+    EXPECT_EQ(drain(sched),
+              (std::vector<std::string>{"1:1", "2:1", "1:2", "2:2",
+                                        "1:3", "2:3"}));
+}
+
+TEST(FairSchedulerTest, WeightedClientGetsProportionalTurns)
+{
+    // Weight 2 means two dispatches per turn.
+    FairScheduler sched({/*max_inflight=*/1, /*max_queue_depth=*/32});
+    sched.addClient(1, /*weight=*/2);
+    sched.addClient(2, /*weight=*/1);
+    for (std::int64_t id = 1; id <= 4; ++id)
+        ASSERT_TRUE(sched.admit(job(1, id)).isOk());
+    for (std::int64_t id = 1; id <= 2; ++id)
+        ASSERT_TRUE(sched.admit(job(2, id)).isOk());
+    EXPECT_EQ(drain(sched),
+              (std::vector<std::string>{"1:1", "1:2", "2:1", "1:3",
+                                        "1:4", "2:2"}));
+}
+
+TEST(FairSchedulerTest, LateJoinerIsNotStarved)
+{
+    FairScheduler sched({/*max_inflight=*/1, /*max_queue_depth=*/32});
+    sched.addClient(1);
+    for (std::int64_t id = 1; id <= 8; ++id)
+        ASSERT_TRUE(sched.admit(job(1, id)).isOk());
+    // One of client 1's jobs dispatches, then client 2 shows up.
+    auto first = sched.next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->client, 1u);
+    sched.addClient(2);
+    ASSERT_TRUE(sched.admit(job(2, 1)).isOk());
+    sched.finish();
+    // Client 1's new turn runs one job, then client 2's — the joiner
+    // waits a bounded single turn, not for client 1's backlog.
+    std::vector<std::string> order = drain(sched);
+    ASSERT_GE(order.size(), 2u);
+    EXPECT_EQ(order[0], "1:2");
+    EXPECT_EQ(order[1], "2:1");
+}
+
+TEST(FairSchedulerTest, DropClientDiscardsOnlyItsQueuedJobs)
+{
+    FairScheduler sched({/*max_inflight=*/1, /*max_queue_depth=*/32});
+    sched.addClient(1);
+    sched.addClient(2);
+    for (std::int64_t id = 1; id <= 3; ++id)
+        ASSERT_TRUE(sched.admit(job(1, id)).isOk());
+    ASSERT_TRUE(sched.admit(job(2, 1)).isOk());
+
+    // Client 1's first job is already in flight when it disconnects:
+    // only its *queued* jobs come back.
+    ASSERT_TRUE(sched.next().has_value());
+    std::vector<SchedulerJob> dropped = sched.dropClient(1);
+    ASSERT_EQ(dropped.size(), 2u);
+    EXPECT_EQ(dropped[0].request_id, 2);
+    EXPECT_EQ(dropped[1].request_id, 3);
+    EXPECT_EQ(sched.clientCount(), 1);
+    sched.finish();
+    EXPECT_EQ(drain(sched), (std::vector<std::string>{"2:1"}));
+}
+
+TEST(FairSchedulerTest, ReRegistrationKeepsFirstWeight)
+{
+    FairScheduler sched;
+    sched.addClient(1, 3);
+    sched.addClient(1, 9); // ignored
+    EXPECT_EQ(sched.clientCount(), 1);
+}
+
+// ----- LatencyHistogram -----------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0);
+    EXPECT_EQ(hist.quantileMs(0.5), 0.0);
+    EXPECT_EQ(hist.quantileMs(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreConservativeUpperBounds)
+{
+    LatencyHistogram hist;
+    for (int i = 0; i < 99; ++i)
+        hist.record(0.5); // bucket 0: < 1 ms
+    hist.record(100.0);   // one outlier
+    EXPECT_EQ(hist.count(), 100);
+    // p50 falls in the sub-millisecond bucket -> upper bound 1 ms.
+    EXPECT_LE(hist.quantileMs(0.5), 1.0);
+    // p99 must not under-report the outlier's bucket, and never
+    // exceeds the observed max.
+    EXPECT_GE(hist.quantileMs(0.995), 100.0 * 0.5);
+    EXPECT_LE(hist.quantileMs(0.995), hist.maxMs());
+    EXPECT_DOUBLE_EQ(hist.maxMs(), 100.0);
+}
+
+TEST(LatencyHistogramTest, ConfigCarriesSummaryFields)
+{
+    LatencyHistogram hist;
+    hist.record(2.0);
+    hist.record(4.0);
+    const ConfigValue doc = hist.toConfig();
+    EXPECT_EQ(doc.getIntOr("count", 0), 2);
+    EXPECT_DOUBLE_EQ(doc.getNumberOr("total_ms", 0.0), 6.0);
+    EXPECT_DOUBLE_EQ(doc.getNumberOr("mean_ms", 0.0), 3.0);
+    EXPECT_TRUE(doc.has("p50_ms"));
+    EXPECT_TRUE(doc.has("p99_ms"));
+    EXPECT_TRUE(doc.has("buckets"));
+}
+
+// ----- protocol -------------------------------------------------------------
+
+TEST(RpcProtocolTest, CompileFrameRoundTrips)
+{
+    RpcCompileRequest request;
+    request.id = 42;
+    request.model = "lenet5";
+    request.arch = "tutorial";
+    request.opt = "cg+mvm";
+    request.tune = true;
+    request.objective = "edp";
+    request.search_budget = 16;
+    request.perf_engine = "event";
+    request.lint = true;
+    request.lint_strict = true;
+    request.verify = true;
+
+    auto parsed = parseCompileFrame(request.toConfig());
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().toConfig().dump(),
+              request.toConfig().dump());
+}
+
+TEST(RpcProtocolTest, UnknownKeysAreRejectedAsSkew)
+{
+    RpcCompileRequest request;
+    request.id = 1;
+    request.model = "mlp";
+    ConfigValue::Object doc = request.toConfig().asObject();
+    doc["quantum_mode"] = ConfigValue::makeBool(true);
+    auto parsed = parseCompileFrame(ConfigValue::makeObject(doc));
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_NE(parsed.status().message().find("quantum_mode"),
+              std::string::npos);
+}
+
+TEST(RpcProtocolTest, FingerprintIgnoresTheRequestId)
+{
+    RpcCompileRequest a;
+    a.id = 1;
+    a.model = "mlp";
+    a.arch = "jain";
+    RpcCompileRequest b = a;
+    b.id = 999;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    b.opt = "none";
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(RpcProtocolTest, ErrorFrameRoundTripsStatus)
+{
+    const Status original(StatusCode::kResourceExhausted,
+                          "admission rejected: queue full");
+    const Status decoded = statusFromErrorFrame(errorFrame(7, original));
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(RpcProtocolTest, HelloFrameCarriesSchemaAndVersion)
+{
+    const ConfigValue hello = helloFrame(4, 64);
+    EXPECT_EQ(hello.getStringOr("type", ""), "hello");
+    EXPECT_EQ(hello.getStringOr("schema", ""), kRpcSchema);
+    EXPECT_FALSE(hello.getStringOr("compiler_version", "").empty());
+    EXPECT_EQ(hello.getIntOr("max_inflight", 0), 4);
+    EXPECT_EQ(hello.getIntOr("max_queue_depth", 0), 64);
+}
+
+TEST(RpcProtocolTest, CompileRequestMapsOntoSession)
+{
+    RpcCompileRequest request;
+    request.model = "conv_relu_toy";
+    request.arch = "tutorial";
+    request.tune = true;
+    TuneCache cache;
+    auto mapped = request.toCompileRequest(&cache);
+    ASSERT_TRUE(mapped.isOk()) << mapped.status().toString();
+    EXPECT_EQ(mapped.value().model, "conv_relu_toy");
+    EXPECT_TRUE(mapped.value().tune);
+    EXPECT_EQ(mapped.value().tune_cache, &cache);
+    // Daemon concurrency comes from many sessions, not from
+    // oversubscribing one tuner.
+    EXPECT_EQ(mapped.value().threads, 1);
+}
+
+TEST(RpcProtocolTest, BadEnumValuesFailMapping)
+{
+    RpcCompileRequest request;
+    request.model = "mlp";
+    request.opt = "turbo";
+    EXPECT_FALSE(request.toCompileRequest(nullptr).isOk());
+
+    request.opt = "full";
+    request.perf_engine = "analytic";
+    EXPECT_FALSE(request.toCompileRequest(nullptr).isOk());
+}
+
+} // namespace
+} // namespace cimmlc

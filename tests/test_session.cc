@@ -11,6 +11,7 @@
 
 #include "arch/presets.h"
 #include "common/config.h"
+#include "common/version.h"
 #include "compiler/compiler.h"
 #include "compiler/session.h"
 #include "graph/models.h"
@@ -333,6 +334,57 @@ TEST(CompilerSessionTest, ReportRoundTripsThroughKvjsonReader)
     ASSERT_TRUE(flow.isOk());
     EXPECT_EQ(flow.value().getIntOr("statements", -1),
               artifacts.flowStatements());
+}
+
+TEST(CompilerSessionTest, ReportCarriesTheCompilerVersion)
+{
+    CompileRequest request;
+    request.model = "conv_relu_toy";
+    request.arch = "tutorial";
+    CompilerSession session(std::move(request));
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk());
+    // The version key lets a daemon client detect skew between the
+    // serving binary and its own; it must match this process's.
+    EXPECT_EQ(result.value().toConfig().getStringOr("compiler_version",
+                                                    ""),
+              cimmlcVersion());
+}
+
+TEST(CompilerSessionTest, CancelCheckAbortsAtStageBoundary)
+{
+    CompileRequest request;
+    request.model = "conv_relu_toy";
+    request.arch = "tutorial";
+    CompilerSession session(std::move(request));
+    int polls = 0;
+    // Cancel before the third stage: load and validate run, the rest
+    // never start (the daemon wires this to client disconnect).
+    session.setCancelCheck([&polls] { return ++polls >= 3; });
+    std::vector<CompileStage> seen;
+    session.setObserver(
+        [&seen](const StageTrace &trace, const CompileArtifacts &) {
+            seen.push_back(trace.stage);
+        });
+    auto result = session.run();
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(result.status().message().find("canceled"),
+              std::string::npos);
+    EXPECT_EQ(seen, (std::vector<CompileStage>{CompileStage::kLoad,
+                                               CompileStage::kValidate}));
+}
+
+TEST(CompilerSessionTest, UntriggeredCancelCheckDoesNotPerturb)
+{
+    CompileRequest request;
+    request.model = "conv_relu_toy";
+    request.arch = "tutorial";
+    CompilerSession session(std::move(request));
+    session.setCancelCheck([] { return false; });
+    auto result = session.run();
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_TRUE(result.value().perf.has_value());
 }
 
 // ----- lint stage ----------------------------------------------------------

@@ -112,6 +112,56 @@ TEST(ThreadPoolTest, UnevenWorkIsStolenAcrossWorkers)
     EXPECT_GE(seen_ids.size(), 2u);
 }
 
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork)
+{
+    // The daemon relies on this for shutdown: work still queued when
+    // the pool dies must run to completion, not be dropped.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                count.fetch_add(1);
+            });
+        }
+        // No wait(): destruction races a mostly-full queue.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsNestedSubmissions)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i) {
+            pool.submit([&pool, &count] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                count.fetch_add(1);
+                pool.submit([&count] { count.fetch_add(1); });
+            });
+        }
+    }
+    EXPECT_EQ(count.load(), 8 * 2);
+}
+
+TEST(ThreadPoolTest, WaitThenDestructionIsQuiescent)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), 64);
+        // Nothing left: the destructor must not hang on an idle pool.
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolCompletesEverything)
 {
     ThreadPool pool(1);
