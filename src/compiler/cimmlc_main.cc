@@ -44,6 +44,15 @@
  *                       report the latency/energy Pareto front
  *   --tune-cache PATH   persist evaluated candidates across invocations
  *                       (kvjson memo; --autotune and --arch-dse)
+ *   --shard I/N         (--batch / --arch-dse) evaluate only the work
+ *                       units whose enumeration index satisfies
+ *                       index %% N == I and write the slice's results
+ *                       to --shard-out; N such processes cover the
+ *                       sweep exactly once
+ *   --shard-out PATH    destination shard file (required with --shard)
+ *   --merge-shards LIST comma-separated shard files from the same spec;
+ *                       merges them and prints the aggregate report,
+ *                       byte-identical to the single-process run
  *   --search-budget N   cap full-fidelity evaluations: the tuner prunes
  *                       dominated knob supersets, the DSE explorer runs
  *                       successive halving over cheap proxies
@@ -81,6 +90,7 @@
 #include "common/version.h"
 #include "compiler/batch.h"
 #include "compiler/session.h"
+#include "compiler/shard.h"
 #include "daemon/client.h"
 #include "dse/arch_explorer.h"
 #include "graph/models.h"
@@ -101,6 +111,9 @@ struct CliArgs {
     std::string batch_file;
     std::string arch_dse_file;
     std::string tune_cache_file;
+    std::string shard;        //!< "i/N" — run one slice of the sweep
+    std::string shard_out;    //!< where the slice's shard file goes
+    std::string merge_shards; //!< comma-separated shard file paths
     std::int64_t search_budget = -1; //!< -1 = not set (exhaustive)
     std::string check_kvjson;
     std::string report = "text";
@@ -144,11 +157,15 @@ printUsage(std::FILE *out, const char *argv0)
         "          [--search-budget N] [--threads N] [--serial] "
         "[--lint | --lint-strict]\n"
         "          [--perf-engine closed_form|event]\n"
+        "          [--shard I/N --shard-out PATH | "
+        "--merge-shards P1,P2,...]\n"
         "       %s --arch-dse SPEC.json [--objective NAME] "
         "[--tune-cache PATH] [--lint]\n"
         "          [--search-budget N] [--threads N] [--serial] "
         "[--report text|json]\n"
         "          [--perf-engine closed_form|event]\n"
+        "          [--shard I/N --shard-out PATH | "
+        "--merge-shards P1,P2,...]\n"
         "       %s --connect SOCK | --connect-tcp HOST:PORT\n"
         "          [--model NAME | --model-file PATH] [compile flags]\n"
         "          [--daemon-stats] [--daemon-shutdown]\n"
@@ -250,36 +267,103 @@ runBatch(const CliArgs &args)
         && !parsePerfEngineFlag(args, &perf_engine))
         return 1;
 
+    // The sweep every process (shard, merge, or single) agrees on:
+    // shard files carry its digest, so slices of differently-flagged
+    // invocations can never be combined.
+    BatchSweep resolved = sweep.value();
+    resolved.options = options;
+    resolved.threads = threads;
+    resolved.tune = tune;
+    resolved.objective = objective;
+    resolved.budget = budget;
+    resolved.lint = args.lint || sweep.value().lint;
+    resolved.lint_strict = args.lint_strict || sweep.value().lint_strict;
+    resolved.perf_engine = perf_engine;
+
+    const auto render = [&](const BatchResult &result) {
+        if (tune) {
+            std::printf("batch: %zu jobs, %lld ok, tuned per job "
+                        "(objective=%s), threads=%d\n",
+                        result.entries.size(),
+                        static_cast<long long>(result.okCount()),
+                        tuneObjectiveName(objective), threads);
+        } else {
+            std::printf("batch: %zu jobs, %lld ok, opt=%s, threads=%d\n",
+                        result.entries.size(),
+                        static_cast<long long>(result.okCount()),
+                        options.toString().c_str(), threads);
+        }
+        std::fputs(result.table().c_str(), stdout);
+        return result.okCount()
+                       == static_cast<std::int64_t>(result.entries.size())
+                   ? 0
+                   : 1;
+    };
+
+    if (!args.merge_shards.empty()) {
+        auto merged =
+            mergeBatchShards(resolved, split(args.merge_shards, ','));
+        if (!merged.isOk()) {
+            std::fprintf(stderr, "shard merge failed: %s\n",
+                         merged.status().toString().c_str());
+            return 1;
+        }
+        return render(merged.value());
+    }
+
+    ShardSpec shard;
+    std::vector<std::size_t> owned;
+    std::vector<BatchJob> slice = resolved.jobs;
+    if (!args.shard.empty()) {
+        auto parsed = parseShardSpec(args.shard);
+        if (!parsed.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().toString().c_str());
+            return 1;
+        }
+        shard = parsed.value();
+        slice.clear();
+        for (std::size_t i = 0; i < resolved.jobs.size(); ++i) {
+            if (shard.owns(i)) {
+                owned.push_back(i);
+                slice.push_back(resolved.jobs[i]);
+            }
+        }
+    }
+
     BatchCompiler batch(options, threads);
     batch.setTuning(tune, objective);
     batch.setSearchBudget(budget);
-    batch.setLint(args.lint || sweep.value().lint,
-                  args.lint_strict || sweep.value().lint_strict);
+    batch.setLint(resolved.lint, resolved.lint_strict);
     batch.setPerfEngine(perf_engine);
-    auto result = batch.run(sweep.value().jobs);
+    auto result = batch.run(slice);
     if (!result.isOk()) {
         std::fprintf(stderr, "batch failed: %s\n",
                      result.status().toString().c_str());
         return 1;
     }
-    if (tune) {
-        std::printf("batch: %zu jobs, %lld ok, tuned per job "
-                    "(objective=%s), threads=%d\n",
-                    result.value().entries.size(),
+
+    if (shard.enabled() || !args.shard_out.empty()) {
+        const Status saved = saveConfigFile(
+            args.shard_out,
+            batchShardToConfig(resolved, shard, owned,
+                               result.value().entries));
+        if (!saved.isOk()) {
+            std::fprintf(stderr, "cannot write shard file: %s\n",
+                         saved.toString().c_str());
+            return 1;
+        }
+        std::printf("batch shard %d/%d: %zu of %zu jobs, %lld ok -> %s\n",
+                    shard.index, shard.count, slice.size(),
+                    resolved.jobs.size(),
                     static_cast<long long>(result.value().okCount()),
-                    tuneObjectiveName(objective), threads);
-    } else {
-        std::printf("batch: %zu jobs, %lld ok, opt=%s, threads=%d\n",
-                    result.value().entries.size(),
-                    static_cast<long long>(result.value().okCount()),
-                    options.toString().c_str(), threads);
+                    args.shard_out.c_str());
+        return result.value().okCount()
+                       == static_cast<std::int64_t>(slice.size())
+                   ? 0
+                   : 1;
     }
-    std::fputs(result.value().table().c_str(), stdout);
-    return result.value().okCount()
-                   == static_cast<std::int64_t>(
-                          result.value().entries.size())
-               ? 0
-               : 1;
+    return render(result.value());
 }
 
 /** CI helper: parse a kvjson document (e.g. a --report json output)
@@ -359,11 +443,81 @@ runDse(const CliArgs &args)
         && !parsePerfEngineFlag(args, &spec.value().perf_engine))
         return 1;
 
+    const auto render = [&](const DseResult &result) {
+        if (args.report == "json") {
+            std::printf("%s\n", result.toConfig().dump(true).c_str());
+        } else {
+            std::printf("%s\n", result.summary().c_str());
+            std::fputs(result.table().c_str(), stdout);
+        }
+        return 0;
+    };
+
+    if (!args.merge_shards.empty()) {
+        auto merged = mergeDseShards(spec.value(),
+                                     split(args.merge_shards, ','));
+        if (!merged.isOk()) {
+            std::fprintf(stderr, "shard merge failed: %s\n",
+                         merged.status().toString().c_str());
+            return 1;
+        }
+        return render(merged.value());
+    }
+
     // One memo for the whole sweep; --tune-cache persists it so a
     // repeated invocation reuses every evaluation.
     TuneCache cache;
     if (!args.tune_cache_file.empty())
         loadTuneCache(args.tune_cache_file, cache);
+
+    if (!args.shard.empty()) {
+        auto parsed = parseShardSpec(args.shard);
+        if (!parsed.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().toString().c_str());
+            return 1;
+        }
+        const Status shardable =
+            validateDseSpecForSharding(spec.value());
+        if (!shardable.isOk()) {
+            std::fprintf(stderr, "%s\n", shardable.toString().c_str());
+            return 1;
+        }
+        ArchExplorer explorer(std::move(spec).value());
+        const Status restricted = explorer.restrictToShard(
+            parsed.value().index, parsed.value().count);
+        if (!restricted.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         restricted.toString().c_str());
+            return 1;
+        }
+        auto result = explorer.explore(&cache);
+        if (!result.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         result.status().toString().c_str());
+            return 1;
+        }
+        if (!args.tune_cache_file.empty())
+            saveTuneCache(args.tune_cache_file, cache);
+        const Status saved = saveConfigFile(
+            args.shard_out,
+            dseShardToConfig(explorer.spec(), parsed.value(),
+                             result.value()));
+        if (!saved.isOk()) {
+            std::fprintf(stderr, "cannot write shard file: %s\n",
+                         saved.toString().c_str());
+            return 1;
+        }
+        std::size_t owned = 0;
+        for (const DseCandidate &candidate : result.value().candidates)
+            if (parsed.value().owns(candidate.index))
+                ++owned;
+        std::printf("arch-dse shard %d/%d: %zu of %zu candidates -> %s\n",
+                    parsed.value().index, parsed.value().count, owned,
+                    result.value().candidates.size(),
+                    args.shard_out.c_str());
+        return 0;
+    }
 
     const ArchExplorer explorer(std::move(spec).value());
     auto result = explorer.explore(&cache);
@@ -374,14 +528,7 @@ runDse(const CliArgs &args)
     if (!args.tune_cache_file.empty())
         saveTuneCache(args.tune_cache_file, cache);
 
-    if (args.report == "json") {
-        std::printf("%s\n",
-                    result.value().toConfig().dump(true).c_str());
-    } else {
-        std::printf("%s\n", result.value().summary().c_str());
-        std::fputs(result.value().table().c_str(), stdout);
-    }
-    return 0;
+    return render(result.value());
 }
 
 int
@@ -721,6 +868,21 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             args.tune_cache_file = v;
+        } else if (flag == "--shard") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.shard = v;
+        } else if (flag == "--shard-out") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.shard_out = v;
+        } else if (flag == "--merge-shards") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            args.merge_shards = v;
         } else if (flag == "--search-budget") {
             const char *v = next();
             if (!v)
@@ -835,6 +997,8 @@ main(int argc, char **argv)
         // The daemon owns scheduling, caching, and rendering; flags
         // that only make sense in-process are hard errors here.
         if (batch_mode || dse_mode || !args.tune_cache_file.empty()
+            || !args.shard.empty() || !args.shard_out.empty()
+            || !args.merge_shards.empty()
             || args.threads >= 0 || args.serial || args.print_flow
             || args.print_schedule || args.autotune_verbose) {
             std::fprintf(stderr,
@@ -853,6 +1017,30 @@ main(int argc, char **argv)
     if (batch_mode && dse_mode) {
         std::fprintf(stderr,
                      "--batch and --arch-dse are exclusive modes\n");
+        return usage(argv[0]);
+    }
+    if ((!args.shard.empty() || !args.shard_out.empty()
+         || !args.merge_shards.empty())
+        && !batch_mode && !dse_mode) {
+        std::fprintf(stderr,
+                     "--shard/--shard-out/--merge-shards apply to "
+                     "--batch and --arch-dse modes\n");
+        return usage(argv[0]);
+    }
+    if (!args.shard.empty() && !args.merge_shards.empty()) {
+        std::fprintf(stderr,
+                     "--shard and --merge-shards are exclusive\n");
+        return usage(argv[0]);
+    }
+    if (args.shard.empty() != args.shard_out.empty()) {
+        std::fprintf(stderr, "--shard I/N and --shard-out PATH go "
+                             "together\n");
+        return usage(argv[0]);
+    }
+    if (!args.shard.empty() && args.report != "text") {
+        std::fprintf(stderr, "a --shard run writes its results to "
+                             "--shard-out; --report applies to the "
+                             "merge\n");
         return usage(argv[0]);
     }
     if (batch_mode && args.report != "text") {

@@ -297,6 +297,7 @@ CompileArtifacts::toConfig() const
         row["stage"] = text(compileStageName(trace.stage));
         row["status"] = text(trace.status.toString());
         row["wall_ms"] = number(trace.wall_ms);
+        row["cached"] = ConfigValue::makeBool(trace.cached);
         if (!trace.detail.empty())
             row["detail"] = text(trace.detail);
         stage_rows.push_back(ConfigValue::makeObject(std::move(row)));
@@ -373,6 +374,16 @@ CompilerSession::stageLoad(CompileArtifacts &artifacts, std::string &detail)
             topoPrefix(*graph_, request_.workload_prefix_nodes));
         owned_graph_ = std::move(prefix);
         graph_ = &*owned_graph_;
+    }
+
+    if (request_.artifact_cache != nullptr) {
+        // Every downstream stage key chains from this digest; the
+        // TuneCache fingerprint already covers the graph structure and
+        // every cost-relevant Abs-arch parameter, so two requests that
+        // price differently can never share a base.
+        base_digest_ = ArtifactHash()
+                           .mix(TuneCache::fingerprint(*graph_, *arch_, 0))
+                           .digest();
     }
 
     artifacts.workload = graph_->name();
@@ -524,38 +535,234 @@ CompilerSession::stageVerify(CompileArtifacts &artifacts,
     return Status::ok();
 }
 
+std::string
+CompilerSession::stageKey(CompileStage stage,
+                          const CompileArtifacts &artifacts) const
+{
+    if (base_digest_.empty() || stage == CompileStage::kLoad)
+        return std::string();
+    ArtifactHash hash;
+    hash.mix(base_digest_);
+    // The emitted flow is a pure function of (graph, arch, options,
+    // codegen parameters); lint and flow-replaying perf chain from the
+    // same inputs as codegen itself.
+    const auto mix_codegen_inputs = [this, &artifacts, &hash] {
+        hash.mix(artifacts.options.toString());
+        hash.mix(request_.codegen.unroll);
+        hash.mix(request_.codegen.max_ops);
+        for (const auto &[node, params] : request_.codegen.shifts) {
+            hash.mix(static_cast<std::int64_t>(node));
+            hash.mix(static_cast<std::int64_t>(params.shift));
+        }
+    };
+    switch (stage) {
+      case CompileStage::kLoad:
+        return std::string();
+      case CompileStage::kValidate:
+        // Depends only on the graph and the Abs-arch.
+        break;
+      case CompileStage::kTune:
+        hash.mix(tuneObjectiveName(request_.objective));
+        hash.mix(request_.search_budget.toString());
+        break;
+      case CompileStage::kSchedule:
+        // artifacts.options is the configuration actually in effect —
+        // a replayed tune stage restores it first, so a tuned and an
+        // explicitly-configured run that agree on the options share
+        // the schedule artifact.
+        hash.mix(artifacts.options.toString());
+        break;
+      case CompileStage::kCodegen:
+      case CompileStage::kLint:
+        // lint_strict stays out of the key: the strict verdict is
+        // re-applied to the replayed findings (see replayStage).
+        mix_codegen_inputs();
+        break;
+      case CompileStage::kPerf:
+        hash.mix(perfEngineName(request_.perf_engine));
+        hash.mix(artifacts.options.toString());
+        hash.mix(artifacts.code.has_value());
+        if (artifacts.code.has_value())
+            mix_codegen_inputs();
+        break;
+      case CompileStage::kVerify:
+        // Verify unrolls and executes the emitted flow, so it chains
+        // from the same inputs as codegen, plus the stimulus seed.
+        mix_codegen_inputs();
+        hash.mix(static_cast<std::int64_t>(request_.verify_seed));
+        break;
+    }
+    return hash.digest();
+}
+
+Status
+CompilerSession::replayStage(CompileStage stage,
+                             const ArtifactCache::Entry &entry,
+                             CompileArtifacts &artifacts)
+{
+    switch (stage) {
+      case CompileStage::kLoad:
+      case CompileStage::kValidate:
+        return Status::ok();
+      case CompileStage::kTune: {
+        artifacts.tune =
+            *std::static_pointer_cast<const TuneResult>(entry.value);
+        artifacts.tuned = true;
+        artifacts.options = artifacts.tune->best().options;
+        return Status::ok();
+      }
+      case CompileStage::kSchedule: {
+        artifacts.schedule =
+            *std::static_pointer_cast<const Schedule>(entry.value);
+        if (request_.outputs.schedule_report)
+            artifacts.schedule_report =
+                artifacts.schedule->summary(*graph_);
+        return Status::ok();
+      }
+      case CompileStage::kCodegen: {
+        artifacts.code =
+            *std::static_pointer_cast<const CodegenResult>(entry.value);
+        if (request_.outputs.flow_text) {
+            PrintOptions print;
+            print.max_statements = request_.outputs.flow_limit;
+            artifacts.flow_text =
+                printProgram(artifacts.code->program, print);
+        }
+        return Status::ok();
+      }
+      case CompileStage::kLint: {
+        artifacts.lint =
+            *std::static_pointer_cast<const AnalyzeResult>(entry.value);
+        if (request_.lint_strict && artifacts.lint->errors() > 0) {
+            const Status first = firstError(artifacts.lint->diagnostics);
+            return Status(StatusCode::kFailedPrecondition,
+                          strformat("mopcheck found %lld error findings "
+                                    "(first: %s)",
+                                    static_cast<long long>(
+                                        artifacts.lint->errors()),
+                                    first.message().c_str()));
+        }
+        return Status::ok();
+      }
+      case CompileStage::kPerf:
+        artifacts.perf =
+            *std::static_pointer_cast<const PerfReport>(entry.value);
+        return Status::ok();
+      case CompileStage::kVerify:
+        artifacts.verify =
+            *std::static_pointer_cast<const VerifyReport>(entry.value);
+        return Status::ok();
+    }
+    return Status::ok();
+}
+
+void
+CompilerSession::storeStage(CompileStage stage, const std::string &key,
+                            double compute_ms,
+                            const CompileArtifacts &artifacts,
+                            const std::string &detail)
+{
+    ArtifactCache::Entry entry;
+    entry.detail = detail;
+    entry.compute_ms = compute_ms;
+    switch (stage) {
+      case CompileStage::kLoad:
+        return;
+      case CompileStage::kValidate:
+        break; // no artifact beyond the detail line
+      case CompileStage::kTune:
+        entry.value = std::make_shared<const TuneResult>(*artifacts.tune);
+        break;
+      case CompileStage::kSchedule:
+        entry.value =
+            std::make_shared<const Schedule>(*artifacts.schedule);
+        break;
+      case CompileStage::kCodegen:
+        entry.value =
+            std::make_shared<const CodegenResult>(*artifacts.code);
+        break;
+      case CompileStage::kLint:
+        entry.value =
+            std::make_shared<const AnalyzeResult>(*artifacts.lint);
+        break;
+      case CompileStage::kPerf:
+        entry.value = std::make_shared<const PerfReport>(*artifacts.perf);
+        break;
+      case CompileStage::kVerify:
+        entry.value =
+            std::make_shared<const VerifyReport>(*artifacts.verify);
+        break;
+    }
+    request_.artifact_cache->insert(compileStageName(stage), key,
+                                    std::move(entry));
+}
+
+std::size_t
+CompilerSession::cachedStageCount(const CompileArtifacts &artifacts)
+{
+    std::size_t count = 0;
+    for (const StageTrace &trace : artifacts.stages)
+        if (trace.cached)
+            ++count;
+    return count;
+}
+
 Status
 CompilerSession::runStage(CompileStage stage, CompileArtifacts &artifacts)
 {
     StageTrace trace;
     trace.stage = stage;
     const auto start = std::chrono::steady_clock::now();
-    switch (stage) {
-      case CompileStage::kLoad:
-        trace.status = stageLoad(artifacts, trace.detail);
-        break;
-      case CompileStage::kValidate:
-        trace.status = stageValidate(trace.detail);
-        break;
-      case CompileStage::kTune:
-        trace.status = stageTune(artifacts, trace.detail);
-        break;
-      case CompileStage::kSchedule:
-        trace.status = stageSchedule(artifacts, trace.detail);
-        break;
-      case CompileStage::kCodegen:
-        trace.status = stageCodegen(artifacts, trace.detail);
-        break;
-      case CompileStage::kLint:
-        trace.status = stageLint(artifacts, trace.detail);
-        break;
-      case CompileStage::kPerf:
-        trace.status = stagePerf(artifacts, trace.detail);
-        break;
-      case CompileStage::kVerify:
-        trace.status = stageVerify(artifacts, trace.detail);
-        break;
+
+    std::string key;
+    if (request_.artifact_cache != nullptr) {
+        key = stageKey(stage, artifacts);
+        if (!key.empty()) {
+            if (auto entry = request_.artifact_cache->lookup(
+                    compileStageName(stage), key)) {
+                trace.status = replayStage(stage, *entry, artifacts);
+                trace.detail = entry->detail;
+                trace.cached = true;
+            }
+        }
     }
+
+    if (!trace.cached) {
+        switch (stage) {
+          case CompileStage::kLoad:
+            trace.status = stageLoad(artifacts, trace.detail);
+            break;
+          case CompileStage::kValidate:
+            trace.status = stageValidate(trace.detail);
+            break;
+          case CompileStage::kTune:
+            trace.status = stageTune(artifacts, trace.detail);
+            break;
+          case CompileStage::kSchedule:
+            trace.status = stageSchedule(artifacts, trace.detail);
+            break;
+          case CompileStage::kCodegen:
+            trace.status = stageCodegen(artifacts, trace.detail);
+            break;
+          case CompileStage::kLint:
+            trace.status = stageLint(artifacts, trace.detail);
+            break;
+          case CompileStage::kPerf:
+            trace.status = stagePerf(artifacts, trace.detail);
+            break;
+          case CompileStage::kVerify:
+            trace.status = stageVerify(artifacts, trace.detail);
+            break;
+        }
+        if (!key.empty() && trace.status.isOk()) {
+            const double compute_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            storeStage(stage, key, compute_ms, artifacts, trace.detail);
+        }
+    }
+
     trace.wall_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
                         .count();

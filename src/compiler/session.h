@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "cache/artifact_cache.h"
 #include "common/config.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -135,6 +136,18 @@ struct CompileRequest {
     bool tune = false;
     TuneObjective objective = TuneObjective::kLatency;
     TuneCache *tune_cache = nullptr; //!< optional shared memo (not owned)
+
+    /**
+     * Optional stage-level artifact cache (not owned). When set, every
+     * stage after load derives a fingerprint key from its own inputs
+     * (graph + arch digest, effective schedule options, codegen
+     * parameters, upstream-stage keys) and replays a prior successful
+     * result on a hit instead of recomputing — so a request that
+     * changes one stage input re-runs only the invalidated suffix.
+     * Replayed stages are tagged `cached` in their StageTrace and
+     * report their replay wall time, not the original compute time.
+     */
+    ArtifactCache *artifact_cache = nullptr;
     //! evaluation budget for the tune stage: enables dominance pruning
     //! and caps candidate evaluations (see search/search_budget.h)
     SearchBudget search_budget;
@@ -172,8 +185,10 @@ struct CompileRequest {
 struct StageTrace {
     CompileStage stage = CompileStage::kLoad;
     Status status;
-    double wall_ms = 0.0;  //!< wall-clock time the stage took
+    double wall_ms = 0.0;  //!< wall-clock time the stage took; for a
+                           //!< cached replay, the replay time itself
     std::string detail;    //!< one-line structured diagnostic
+    bool cached = false;   //!< replayed from the stage artifact cache
 };
 
 /**
@@ -278,9 +293,27 @@ class CompilerSession
     const Graph &graph() const { return *graph_; }
     const CimArchitecture &arch() const { return *arch_; }
 
+    /** Stages with cached == true in the final trace (0 on a cold
+     * run). The load stage always executes — it resolves the workload
+     * and architecture the cache keys are derived from. */
+    static std::size_t cachedStageCount(const CompileArtifacts &artifacts);
+
   private:
     bool stageEnabled(CompileStage stage) const;
     Status runStage(CompileStage stage, CompileArtifacts &artifacts);
+    /** Cache key for @p stage from its own inputs; "" = not cacheable. */
+    std::string stageKey(CompileStage stage,
+                         const CompileArtifacts &artifacts) const;
+    /** Copies a cached stage artifact back into @p artifacts and
+     * re-renders any requested derived text (schedule report, flow
+     * text) deterministically. Returns the replayed stage status. */
+    Status replayStage(CompileStage stage,
+                       const ArtifactCache::Entry &entry,
+                       CompileArtifacts &artifacts);
+    /** Stores a successful stage result under @p key. */
+    void storeStage(CompileStage stage, const std::string &key,
+                    double compute_ms, const CompileArtifacts &artifacts,
+                    const std::string &detail);
     Status stageLoad(CompileArtifacts &artifacts, std::string &detail);
     Status stageValidate(std::string &detail);
     Status stageTune(CompileArtifacts &artifacts, std::string &detail);
@@ -297,6 +330,8 @@ class CompilerSession
     std::optional<CimArchitecture> owned_arch_;
     const Graph *graph_ = nullptr;
     const CimArchitecture *arch_ = nullptr;
+    //! graph + arch digest all stage keys chain from (set after load)
+    std::string base_digest_;
 };
 
 } // namespace cimmlc

@@ -1,0 +1,539 @@
+#include "compiler/shard.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cache/artifact_cache.h"
+#include "common/strutil.h"
+#include "graph/models.h"
+#include "graph/serialize.h"
+
+namespace cimmlc {
+
+namespace {
+
+ConfigValue
+number(double v)
+{
+    return ConfigValue::makeNumber(v);
+}
+
+ConfigValue
+number(std::int64_t v)
+{
+    return ConfigValue::makeNumber(static_cast<double>(v));
+}
+
+ConfigValue
+text(std::string v)
+{
+    return ConfigValue::makeString(std::move(v));
+}
+
+ConfigValue
+statusToConfig(const Status &status)
+{
+    ConfigValue::Object doc;
+    doc["code"] = number(static_cast<std::int64_t>(status.code()));
+    doc["message"] = text(status.message());
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+Status
+statusFromConfig(const ConfigValue &doc, Status *out)
+{
+    if (!doc.isObject())
+        return parseError("shard entry 'status' must be an object");
+    const std::int64_t code = doc.getIntOr("code", -1);
+    if (code < 0 || code > static_cast<std::int64_t>(StatusCode::kParseError))
+        return parseError(
+            strformat("shard entry has unknown status code %lld",
+                      static_cast<long long>(code)));
+    if (code == 0)
+        *out = Status::ok();
+    else
+        *out = Status(static_cast<StatusCode>(code),
+                      doc.getStringOr("message", ""));
+    return Status::ok();
+}
+
+ConfigValue
+perfToConfig(const PerfReport &perf)
+{
+    ConfigValue::Object doc;
+    doc["engine"] = text(perfEngineName(perf.engine));
+    doc["latency_cycles"] = number(perf.latency_cycles);
+    doc["reload_cycles"] = number(perf.reload_cycles);
+    doc["xbar_pj"] = number(perf.energy.xbar_pj);
+    doc["adc_dac_pj"] = number(perf.energy.adc_dac_pj);
+    doc["movement_pj"] = number(perf.energy.movement_pj);
+    doc["alu_pj"] = number(perf.energy.alu_pj);
+    doc["write_pj"] = number(perf.energy.write_pj);
+    doc["peak_power_mw"] = number(perf.peak_power_mw);
+    doc["avg_power_mw"] = number(perf.avg_power_mw);
+    doc["peak_active_xbs"] = number(perf.peak_active_xbs);
+    doc["crossbars_mapped"] = number(perf.crossbars_mapped);
+    doc["crossbar_utilization"] = number(perf.crossbar_utilization);
+    doc["stall_cycles"] = number(perf.stall_cycles);
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+StatusOr<PerfReport>
+perfFromConfig(const ConfigValue &doc)
+{
+    if (!doc.isObject())
+        return parseError("shard entry 'perf' must be an object");
+    PerfReport perf;
+    CIMMLC_ASSIGN_OR_RETURN(
+        perf.engine,
+        parsePerfEngineKind(doc.getStringOr("engine", "closed_form")));
+    perf.latency_cycles = doc.getNumberOr("latency_cycles", 0.0);
+    perf.reload_cycles = doc.getNumberOr("reload_cycles", 0.0);
+    perf.energy.xbar_pj = doc.getNumberOr("xbar_pj", 0.0);
+    perf.energy.adc_dac_pj = doc.getNumberOr("adc_dac_pj", 0.0);
+    perf.energy.movement_pj = doc.getNumberOr("movement_pj", 0.0);
+    perf.energy.alu_pj = doc.getNumberOr("alu_pj", 0.0);
+    perf.energy.write_pj = doc.getNumberOr("write_pj", 0.0);
+    perf.peak_power_mw = doc.getNumberOr("peak_power_mw", 0.0);
+    perf.avg_power_mw = doc.getNumberOr("avg_power_mw", 0.0);
+    perf.peak_active_xbs = doc.getIntOr("peak_active_xbs", 0);
+    perf.crossbars_mapped = doc.getIntOr("crossbars_mapped", 0);
+    perf.crossbar_utilization =
+        doc.getNumberOr("crossbar_utilization", 0.0);
+    perf.stall_cycles = doc.getNumberOr("stall_cycles", 0.0);
+    return perf;
+}
+
+/** Shared shard-file envelope checks; returns the entries array. */
+StatusOr<ConfigValue>
+openShardFile(const std::string &path, const char *schema,
+              const std::string &digest, std::size_t expected_units,
+              std::vector<bool> &shard_seen)
+{
+    CIMMLC_ASSIGN_OR_RETURN(const ConfigValue doc, loadConfigFile(path));
+    if (!doc.isObject()
+        || doc.getStringOr("schema", "") != std::string(schema))
+        return parseError("'" + path + "' is not a " + schema
+                          + " shard file");
+    if (doc.getStringOr("spec_digest", "") != digest)
+        return invalidArgument(
+            "'" + path
+            + "' was produced from a different sweep spec (digest "
+              "mismatch); all shards must run the same spec");
+    const std::int64_t shards = doc.getIntOr("shards", 0);
+    if (shards != static_cast<std::int64_t>(shard_seen.size()))
+        return invalidArgument(strformat(
+            "'%s' says %lld shards, but %zu shard files were given",
+            path.c_str(), static_cast<long long>(shards),
+            shard_seen.size()));
+    const std::int64_t shard = doc.getIntOr("shard", -1);
+    if (shard < 0 || shard >= shards)
+        return parseError(
+            strformat("'%s' has bad shard index %lld/%lld", path.c_str(),
+                      static_cast<long long>(shard),
+                      static_cast<long long>(shards)));
+    if (shard_seen[static_cast<std::size_t>(shard)])
+        return invalidArgument(
+            strformat("shard %lld appears twice in the merge set",
+                      static_cast<long long>(shard)));
+    shard_seen[static_cast<std::size_t>(shard)] = true;
+    if (doc.getIntOr("units", -1)
+        != static_cast<std::int64_t>(expected_units))
+        return invalidArgument(
+            "'" + path + "' disagrees on the sweep's work-unit count");
+    CIMMLC_ASSIGN_OR_RETURN(const ConfigValue entries,
+                            doc.get("entries"));
+    if (!entries.isArray())
+        return parseError("'" + path + "' entries must be an array");
+    return entries;
+}
+
+} // namespace
+
+// ----- ShardSpec ------------------------------------------------------------
+
+Status
+ShardSpec::validate() const
+{
+    if (count < 1)
+        return invalidArgument("shard count must be >= 1");
+    if (index < 0 || index >= count)
+        return invalidArgument(strformat(
+            "shard index %d out of range for %d shards", index, count));
+    return Status::ok();
+}
+
+StatusOr<ShardSpec>
+parseShardSpec(const std::string &spec_text)
+{
+    const std::string trimmed{trim(spec_text)};
+    const std::size_t slash = trimmed.find('/');
+    const auto parse_int = [](const std::string &part,
+                              int *out) -> bool {
+        if (part.empty())
+            return false;
+        int value = 0;
+        for (char c : part) {
+            if (c < '0' || c > '9' || value > 1000000)
+                return false;
+            value = value * 10 + (c - '0');
+        }
+        *out = value;
+        return true;
+    };
+    ShardSpec shard;
+    if (slash == std::string::npos
+        || !parse_int(trimmed.substr(0, slash), &shard.index)
+        || !parse_int(trimmed.substr(slash + 1), &shard.count))
+        return invalidArgument("bad shard spec '" + spec_text
+                               + "' (expected I/N, e.g. 0/4)");
+    CIMMLC_RETURN_IF_ERROR(shard.validate());
+    return shard;
+}
+
+// ----- batch sharding -------------------------------------------------------
+
+std::string
+batchSweepDigest(const BatchSweep &sweep)
+{
+    ArtifactHash hash;
+    hash.mix("cimmlc.batchshard.v1");
+    hash.mix(static_cast<std::int64_t>(sweep.jobs.size()));
+    for (const BatchJob &job : sweep.jobs) {
+        hash.mix(job.model);
+        hash.mix(job.arch);
+    }
+    hash.mix(sweep.options.toString());
+    hash.mix(sweep.tune);
+    hash.mix(tuneObjectiveName(sweep.objective));
+    hash.mix(sweep.budget.toString());
+    hash.mix(sweep.lint);
+    hash.mix(sweep.lint_strict);
+    hash.mix(perfEngineName(sweep.perf_engine));
+    return hash.digest();
+}
+
+ConfigValue
+batchShardToConfig(const BatchSweep &sweep, const ShardSpec &shard,
+                   const std::vector<std::size_t> &indices,
+                   const std::vector<BatchEntry> &entries)
+{
+    ConfigValue::Object doc;
+    doc["schema"] = text(kBatchShardSchema);
+    doc["spec_digest"] = text(batchSweepDigest(sweep));
+    doc["shard"] = number(static_cast<std::int64_t>(shard.index));
+    doc["shards"] = number(static_cast<std::int64_t>(shard.count));
+    doc["units"] = number(static_cast<std::int64_t>(sweep.jobs.size()));
+    ConfigValue::Array rows;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const BatchEntry &entry = entries[i];
+        ConfigValue::Object row;
+        row["index"] = number(static_cast<std::int64_t>(indices[i]));
+        row["model"] = text(entry.job.model);
+        row["arch"] = text(entry.job.arch);
+        row["status"] = statusToConfig(entry.status);
+        row["nodes"] = number(entry.nodes);
+        row["weights"] = number(entry.weights);
+        row["flow_statements"] = number(entry.flow_statements);
+        row["config"] = text(entry.config);
+        row["tuned"] = ConfigValue::makeBool(entry.tuned);
+        row["lint_errors"] = number(entry.lint_errors);
+        row["lint_warnings"] = number(entry.lint_warnings);
+        if (entry.status.isOk())
+            row["perf"] = perfToConfig(entry.perf);
+        rows.push_back(ConfigValue::makeObject(std::move(row)));
+    }
+    doc["entries"] = ConfigValue::makeArray(std::move(rows));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+StatusOr<BatchResult>
+mergeBatchShards(const BatchSweep &sweep,
+                 const std::vector<std::string> &paths)
+{
+    if (paths.empty())
+        return invalidArgument("merge needs at least one shard file");
+    const std::string digest = batchSweepDigest(sweep);
+    BatchResult result;
+    result.entries.resize(sweep.jobs.size());
+    std::vector<bool> filled(sweep.jobs.size(), false);
+    std::vector<bool> shard_seen(paths.size(), false);
+
+    for (const std::string &path : paths) {
+        CIMMLC_ASSIGN_OR_RETURN(
+            const ConfigValue entries,
+            openShardFile(path, kBatchShardSchema, digest,
+                          sweep.jobs.size(), shard_seen));
+        for (const ConfigValue &row : entries.asArray()) {
+            if (!row.isObject())
+                return parseError("'" + path
+                                  + "' has a non-object entry");
+            const std::int64_t index = row.getIntOr("index", -1);
+            if (index < 0
+                || index >= static_cast<std::int64_t>(sweep.jobs.size()))
+                return parseError(strformat(
+                    "'%s' entry index %lld out of range", path.c_str(),
+                    static_cast<long long>(index)));
+            const auto at = static_cast<std::size_t>(index);
+            if (filled[at])
+                return invalidArgument(strformat(
+                    "job %lld appears in more than one shard",
+                    static_cast<long long>(index)));
+            filled[at] = true;
+
+            BatchEntry &entry = result.entries[at];
+            entry.job.model = row.getStringOr("model", "");
+            entry.job.arch = row.getStringOr("arch", "");
+            if (entry.job.model != sweep.jobs[at].model
+                || entry.job.arch != sweep.jobs[at].arch)
+                return invalidArgument(strformat(
+                    "'%s' entry %lld names job '%s x %s', spec says "
+                    "'%s x %s'",
+                    path.c_str(), static_cast<long long>(index),
+                    entry.job.model.c_str(), entry.job.arch.c_str(),
+                    sweep.jobs[at].model.c_str(),
+                    sweep.jobs[at].arch.c_str()));
+            CIMMLC_RETURN_IF_ERROR(statusFromConfig(
+                row.has("status") ? row.get("status").value()
+                                  : ConfigValue(),
+                &entry.status));
+            entry.nodes = row.getIntOr("nodes", 0);
+            entry.weights = row.getIntOr("weights", 0);
+            entry.flow_statements = row.getIntOr("flow_statements", 0);
+            entry.config = row.getStringOr("config", "");
+            entry.tuned = row.getBoolOr("tuned", false);
+            entry.lint_errors = row.getIntOr("lint_errors", -1);
+            entry.lint_warnings = row.getIntOr("lint_warnings", -1);
+            if (entry.status.isOk()) {
+                CIMMLC_ASSIGN_OR_RETURN(const ConfigValue perf,
+                                        row.get("perf"));
+                CIMMLC_ASSIGN_OR_RETURN(entry.perf,
+                                        perfFromConfig(perf));
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < filled.size(); ++i) {
+        if (!filled[i])
+            return invalidArgument(strformat(
+                "job %zu ('%s x %s') is covered by no shard file", i,
+                sweep.jobs[i].model.c_str(), sweep.jobs[i].arch.c_str()));
+    }
+    return result;
+}
+
+// ----- arch-dse sharding ----------------------------------------------------
+
+std::string
+dseSpecDigest(const DseSpec &spec)
+{
+    ArtifactHash hash;
+    hash.mix("cimmlc.dseshard.v1");
+    hash.mix(spec.model);
+    hash.mix(spec.model_file);
+    hash.mix(spec.model_text);
+    hash.mix(spec.base_arch.toString());
+    hash.mix(spec.options.toString());
+    hash.mix(spec.tune);
+    hash.mix(tuneObjectiveName(spec.objective));
+    hash.mix(spec.lint);
+    hash.mix(perfEngineName(spec.perf_engine));
+    hash.mix(spec.budget.toString());
+    hash.mix(static_cast<std::int64_t>(spec.sweep.axes.size()));
+    for (const ArchAxis &axis : spec.sweep.axes) {
+        hash.mix(archParamName(axis.param));
+        hash.mix(static_cast<std::int64_t>(axis.values.size()));
+        for (const ArchParamValue &value : axis.values)
+            hash.mix(archParamValueToString(axis.param, value));
+    }
+    return hash.digest();
+}
+
+Status
+validateDseSpecForSharding(const DseSpec &spec)
+{
+    if (spec.budget.enabled())
+        return invalidArgument(
+            "arch-dse sharding requires an exhaustive spec: "
+            "successive-halving promotion compares candidates across "
+            "the whole sweep, which per-shard slices cannot reproduce "
+            "(drop 'budget' / --search-budget)");
+    if (spec.tune)
+        return invalidArgument(
+            "arch-dse sharding requires an untuned spec: per-candidate "
+            "tuning shares one memo across the sweep, so shard-local "
+            "caches would change the reported hit accounting (drop "
+            "'tune')");
+    return Status::ok();
+}
+
+ConfigValue
+dseShardToConfig(const DseSpec &spec, const ShardSpec &shard,
+                 const DseResult &partial)
+{
+    ConfigValue::Object doc;
+    doc["schema"] = text(kDseShardSchema);
+    doc["spec_digest"] = text(dseSpecDigest(spec));
+    doc["shard"] = number(static_cast<std::int64_t>(shard.index));
+    doc["shards"] = number(static_cast<std::int64_t>(shard.count));
+    doc["units"] =
+        number(static_cast<std::int64_t>(spec.sweep.candidateCount()));
+    ConfigValue::Array rows;
+    for (const DseCandidate &candidate : partial.candidates) {
+        if (!shard.owns(candidate.index))
+            continue;
+        ConfigValue::Object row;
+        row["index"] =
+            number(static_cast<std::int64_t>(candidate.index));
+        row["status"] = statusToConfig(candidate.status);
+        row["latency_cycles"] = number(candidate.latency_cycles);
+        row["energy_pj"] = number(candidate.energy_pj);
+        row["edp"] = number(candidate.edp);
+        row["config"] = text(candidate.config);
+        rows.push_back(ConfigValue::makeObject(std::move(row)));
+    }
+    doc["entries"] = ConfigValue::makeArray(std::move(rows));
+    return ConfigValue::makeObject(std::move(doc));
+}
+
+StatusOr<DseResult>
+mergeDseShards(const DseSpec &spec, const std::vector<std::string> &paths)
+{
+    CIMMLC_RETURN_IF_ERROR(validateDseSpecForSharding(spec));
+    if (paths.empty())
+        return invalidArgument("merge needs at least one shard file");
+
+    // Labels, params, and candidate geometry never travel in shard
+    // files — the merged result re-enumerates them from the spec, the
+    // same deterministic row-major order every shard used.
+    std::optional<Graph> loaded;
+    if (!spec.model.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(loaded, models::byNameChecked(spec.model));
+    } else if (!spec.model_file.empty()) {
+        CIMMLC_ASSIGN_OR_RETURN(loaded, graphFromFile(spec.model_file));
+    } else {
+        CIMMLC_ASSIGN_OR_RETURN(loaded, graphFromText(spec.model_text));
+    }
+    const Graph &graph = *loaded;
+
+    DseResult result;
+    result.objective = spec.objective;
+    result.workload = graph.name();
+    result.nodes = static_cast<std::int64_t>(graph.nodeCount());
+    result.weights = graph.totalWeights();
+    result.base_arch = spec.base_arch.name;
+    result.tuned = spec.tune;
+    result.lint = spec.lint;
+    result.perf_engine = spec.perf_engine;
+    result.budget = spec.budget;
+    result.candidates = ArchExplorer(spec).enumerate();
+
+    // The single-process dedup keys exactly the candidates whose
+    // *enumerated* geometry validated; remember that set before shard
+    // results overwrite status with evaluation outcomes.
+    std::vector<bool> keyed(result.candidates.size(), false);
+    for (const DseCandidate &candidate : result.candidates)
+        keyed[candidate.index] = candidate.status.isOk();
+
+    const std::string digest = dseSpecDigest(spec);
+    std::vector<bool> filled(result.candidates.size(), false);
+    std::vector<bool> shard_seen(paths.size(), false);
+    for (const std::string &path : paths) {
+        CIMMLC_ASSIGN_OR_RETURN(
+            const ConfigValue entries,
+            openShardFile(path, kDseShardSchema, digest,
+                          result.candidates.size(), shard_seen));
+        for (const ConfigValue &row : entries.asArray()) {
+            if (!row.isObject())
+                return parseError("'" + path
+                                  + "' has a non-object entry");
+            const std::int64_t index = row.getIntOr("index", -1);
+            if (index < 0
+                || index
+                       >= static_cast<std::int64_t>(
+                           result.candidates.size()))
+                return parseError(strformat(
+                    "'%s' entry index %lld out of range", path.c_str(),
+                    static_cast<long long>(index)));
+            const auto at = static_cast<std::size_t>(index);
+            if (filled[at])
+                return invalidArgument(strformat(
+                    "candidate %lld appears in more than one shard",
+                    static_cast<long long>(index)));
+            filled[at] = true;
+            DseCandidate &candidate = result.candidates[at];
+            CIMMLC_RETURN_IF_ERROR(statusFromConfig(
+                row.has("status") ? row.get("status").value()
+                                  : ConfigValue(),
+                &candidate.status));
+            candidate.latency_cycles =
+                row.getNumberOr("latency_cycles", 0.0);
+            candidate.energy_pj = row.getNumberOr("energy_pj", 0.0);
+            candidate.edp = row.getNumberOr("edp", 0.0);
+            candidate.config = row.getStringOr("config", "");
+        }
+    }
+    for (std::size_t i = 0; i < filled.size(); ++i) {
+        // Structurally invalid candidates (enumerate() marked them) are
+        // not evaluated by any shard; everything else must be covered.
+        if (!filled[i] && keyed[i])
+            return invalidArgument(strformat(
+                "candidate %zu is covered by no shard file", i));
+    }
+
+    // Replay the single-process duplicate-point dedup so the merged
+    // hit accounting matches a cold single-process run byte for byte:
+    // there, only the first occurrence of an aliased sweep point is
+    // evaluated and every later one counts as a cache hit.
+    std::map<std::string, std::size_t> first_of_key;
+    std::int64_t duplicate_hits = 0;
+    std::int64_t unique_keys = 0;
+    for (DseCandidate &candidate : result.candidates) {
+        if (!keyed[candidate.index])
+            continue; // structurally invalid, never keyed
+        std::string key = TuneCache::fingerprint(
+            graph, candidate.arch,
+            AutoTuner::encodeOptions(spec.options));
+        if (spec.lint)
+            key += "+lint";
+        if (spec.perf_engine == PerfEngineKind::kEvent)
+            key += "+engine:event";
+        auto [it, inserted] =
+            first_of_key.emplace(std::move(key), candidate.index);
+        if (inserted) {
+            ++unique_keys;
+        } else {
+            const DseCandidate &source = result.candidates[it->second];
+            candidate.status = source.status;
+            candidate.latency_cycles = source.latency_cycles;
+            candidate.energy_pj = source.energy_pj;
+            candidate.edp = source.edp;
+            candidate.config = source.config;
+            ++duplicate_hits;
+        }
+    }
+    result.cache_hits = duplicate_hits;
+    result.cache_entries = unique_keys;
+    result.full_evals = unique_keys;
+    result.proxy_evals = 0;
+    result.rung_sizes = {unique_keys};
+
+    result.front = paretoFrontIndices(result.candidates);
+    for (std::size_t index : result.front)
+        result.candidates[index].on_front = true;
+    if (result.front.empty()) {
+        Status first = internalError("empty sweep");
+        for (const DseCandidate &candidate : result.candidates) {
+            if (!candidate.status.isOk()) {
+                first = candidate.status;
+                break;
+            }
+        }
+        return first.withContext(
+            "arch-dse merge: no feasible candidate for '" + graph.name()
+            + "' over base '" + spec.base_arch.name + "'");
+    }
+    return result;
+}
+
+} // namespace cimmlc

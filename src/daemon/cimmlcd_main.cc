@@ -6,7 +6,8 @@
  * socket (and optionally localhost TCP), admits them under a bounded
  * queue, schedules them fairly across client connections onto the
  * process ThreadPool, and serves every compile from one warm
- * process-wide TuneCache plus a fingerprint-keyed artifact memo.
+ * process-wide TuneCache plus a bounded (LRU) stage-level artifact
+ * cache that replays unchanged pipeline stages across requests.
  *
  * Usage:
  *   cimmlcd --socket /tmp/cimmlcd.sock [options]
@@ -24,6 +25,8 @@
  *                        it there (atomic rename) on shutdown
  *   --snapshot-every N   also snapshot after every N completed
  *                        compiles (default 0 = only at shutdown)
+ *   --cache-capacity N   stage-artifact cache entries before LRU
+ *                        eviction (default 512)
  *   --version / --help
  *
  * Clients: `cimmlc --connect PATH --model ... [--report json]`, or any
@@ -60,6 +63,7 @@ printUsage(std::FILE *out, const char *argv0)
                  "usage: %s --socket PATH [--tcp PORT] [--threads N]\n"
                  "          [--max-inflight N] [--max-queue N]\n"
                  "          [--tune-cache PATH] [--snapshot-every N]\n"
+                 "          [--cache-capacity N]\n"
                  "          [--version] [--help]\n",
                  argv0);
 }
@@ -107,7 +111,8 @@ main(int argc, char **argv)
             config.unix_path = v;
         } else if (flag == "--tcp" || flag == "--threads"
                    || flag == "--max-inflight" || flag == "--max-queue"
-                   || flag == "--snapshot-every") {
+                   || flag == "--snapshot-every"
+                   || flag == "--cache-capacity") {
             const char *v = next();
             long long parsed = 0;
             if (!v || !parseIntFlag(flag.c_str(), v, &parsed)) {
@@ -122,6 +127,8 @@ main(int argc, char **argv)
                 config.max_inflight = parsed;
             else if (flag == "--max-queue")
                 config.max_queue_depth = parsed;
+            else if (flag == "--cache-capacity")
+                config.cache_capacity = parsed;
             else
                 config.snapshot_every = parsed;
         } else if (flag == "--tune-cache") {

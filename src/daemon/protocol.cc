@@ -57,9 +57,11 @@ RpcCompileRequest::fingerprint() const
 }
 
 StatusOr<CompileRequest>
-RpcCompileRequest::toCompileRequest(TuneCache *tune_cache) const
+RpcCompileRequest::toCompileRequest(TuneCache *tune_cache,
+                                    ArtifactCache *artifact_cache) const
 {
     CompileRequest request;
+    request.artifact_cache = artifact_cache;
     request.model = model;
     request.model_text = model_text;
     request.arch = arch;
@@ -144,6 +146,7 @@ eventFrame(std::int64_t id, const StageTrace &trace)
     doc["stage"] = text(compileStageName(trace.stage));
     doc["status"] = text(trace.status.toString());
     doc["wall_ms"] = ConfigValue::makeNumber(trace.wall_ms);
+    doc["cached"] = ConfigValue::makeBool(trace.cached);
     if (!trace.detail.empty())
         doc["detail"] = text(trace.detail);
     return ConfigValue::makeObject(std::move(doc));

@@ -61,21 +61,24 @@ struct RpcCompileRequest {
     bool verify = false;
 
     /** Serializes every field explicitly (canonical form: two requests
-     * meaning the same compile dump identically, which is what the
-     * daemon's artifact memo keys on). */
+     * meaning the same compile dump identically). */
     ConfigValue toConfig() const;
 
-    /** The daemon's artifact-memo key: the canonical dump minus the
-     * client-chosen id. */
+    /** Canonical request identity: the canonical dump minus the
+     * client-chosen id (test hooks and request-level telemetry). */
     std::string fingerprint() const;
 
     /**
      * Maps the wire request onto a staged-session CompileRequest.
-     * @p tune_cache is the daemon's shared warm cache (may be null).
-     * The tune stage runs serial (threads=1): daemon concurrency comes
-     * from running many sessions, not from oversubscribing one.
+     * @p tune_cache is the daemon's shared warm TuneCache and
+     * @p artifact_cache its process-wide stage-level artifact cache
+     * (either may be null). The tune stage runs serial (threads=1):
+     * daemon concurrency comes from running many sessions, not from
+     * oversubscribing one.
      */
-    StatusOr<CompileRequest> toCompileRequest(TuneCache *tune_cache) const;
+    StatusOr<CompileRequest>
+    toCompileRequest(TuneCache *tune_cache,
+                     ArtifactCache *artifact_cache = nullptr) const;
 };
 
 /** Parses a compile frame. Unknown keys are an error (they usually

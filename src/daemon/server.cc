@@ -27,6 +27,8 @@ DaemonConfig::validate() const
         return invalidArgument("max_queue_depth must be >= 0");
     if (snapshot_every < 0)
         return invalidArgument("snapshot_every must be >= 0");
+    if (cache_capacity < 1)
+        return invalidArgument("cache_capacity must be >= 1");
     return Status::ok();
 }
 
@@ -46,7 +48,9 @@ struct DaemonServer::Connection {
 DaemonServer::DaemonServer(DaemonConfig config)
     : config_(std::move(config)),
       scheduler_(SchedulerLimits{config_.max_inflight,
-                                 config_.max_queue_depth})
+                                 config_.max_queue_depth}),
+      artifact_cache_(static_cast<std::size_t>(
+          config_.cache_capacity < 1 ? 1 : config_.cache_capacity))
 {
 }
 
@@ -327,25 +331,7 @@ DaemonServer::runCompile(const std::shared_ptr<Connection> &conn,
             .count();
     };
 
-    // Warm path: a repeated request is answered with the byte-identical
-    // report of its first run, no session needed.
-    {
-        std::lock_guard<std::mutex> lock(memo_mutex_);
-        auto it = artifact_memo_.find(fingerprint);
-        if (it != artifact_memo_.end()) {
-            stats_.recordMemo(true);
-            // Completion is recorded before the reply so a client that
-            // queries stats right after its report sees itself counted.
-            stats_.recordCompleted(elapsed_ms());
-            sendToClient(conn,
-                         reportFrame(request.id, it->second,
-                                     /*cached=*/true));
-            return;
-        }
-    }
-    stats_.recordMemo(false);
-
-    auto mapped = request.toCompileRequest(&tune_cache_);
+    auto mapped = request.toCompileRequest(&tune_cache_, &artifact_cache_);
     if (!mapped.isOk()) {
         stats_.recordFailed();
         sendToClient(conn, errorFrame(request.id, mapped.status()));
@@ -359,7 +345,10 @@ DaemonServer::runCompile(const std::shared_ptr<Connection> &conn,
     session.setObserver([this, &conn, &request](
                             const StageTrace &trace,
                             const CompileArtifacts &) {
-        stats_.recordStage(compileStageName(trace.stage), trace.wall_ms);
+        // Replays land in a separate histogram so first-run compute
+        // timings never mix with (much faster) cache replays.
+        stats_.recordStage(compileStageName(trace.stage), trace.wall_ms,
+                           trace.cached);
         sendToClient(conn, eventFrame(request.id, trace));
     });
 
@@ -375,14 +364,23 @@ DaemonServer::runCompile(const std::shared_ptr<Connection> &conn,
         return;
     }
 
+    // A request is "cached" when every stage past load (which always
+    // executes to resolve the cache keys) replayed from the warm
+    // stage-artifact cache.
+    std::size_t replayable = 0;
+    for (const StageTrace &trace : result.value().stages)
+        if (trace.stage != CompileStage::kLoad)
+            ++replayable;
+    const bool fully_replayed =
+        replayable > 0
+        && CompilerSession::cachedStageCount(result.value()) == replayable;
+    stats_.recordMemo(fully_replayed);
+
     const std::string report =
         result.value().toConfig().dump(/*pretty=*/true);
-    {
-        std::lock_guard<std::mutex> lock(memo_mutex_);
-        artifact_memo_.emplace(fingerprint, report);
-    }
     stats_.recordCompleted(elapsed_ms());
-    sendToClient(conn, reportFrame(request.id, report, /*cached=*/false));
+    sendToClient(conn,
+                 reportFrame(request.id, report, fully_replayed));
     // The (possibly disk-touching) snapshot stays after the reply so it
     // never adds to client-observed latency.
     completed_since_snapshot_.fetch_add(1, std::memory_order_acq_rel);
@@ -447,7 +445,8 @@ DaemonServer::statsSnapshot()
     }
     return stats_.toConfig(queue_depth, running, clients,
                            static_cast<std::int64_t>(tune_cache_.size()),
-                           tune_cache_.hits());
+                           tune_cache_.hits(),
+                           artifact_cache_.toConfig());
 }
 
 } // namespace cimmlc

@@ -14,8 +14,13 @@
  *  - one warm process-wide TuneCache shared by every tuned request,
  *    optionally loaded from / periodically snapshotted to disk
  *    (atomic temp-file + rename snapshots); and
- *  - a fingerprint-keyed artifact memo: a repeated request is answered
- *    from memory with the byte-identical report of its first run.
+ *  - one warm process-wide stage-level ArtifactCache (bounded, LRU):
+ *    every session keys each stage by its own input hashes, so
+ *    repeated traffic replays unchanged stages and a changed request
+ *    re-runs only the invalidated stage suffix. Replayed stages are
+ *    tagged `"cached": true` in events and reports, and their replay
+ *    wall time lands in a separate stats histogram so first-run
+ *    timings never pollute the serving latency distribution.
  *
  * Per-stage trace events stream to the client as the session runs
  * (the session observer hook feeds eventFrame); the terminal frame is
@@ -39,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/artifact_cache.h"
 #include "common/socket.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -59,6 +65,8 @@ struct DaemonConfig {
     std::string tune_cache_path; //!< load at start, snapshot target ("" = off)
     //! snapshot the tune cache every N completed compiles (0 = only at stop)
     std::int64_t snapshot_every = 0;
+    //! stage-artifact cache entries before LRU eviction (>= 1)
+    std::int64_t cache_capacity = ArtifactCache::kDefaultCapacity;
 
     Status validate() const;
 };
@@ -99,6 +107,7 @@ class DaemonServer
 
     const DaemonConfig &config() const { return config_; }
     TuneCache &tuneCache() { return tune_cache_; }
+    ArtifactCache &artifactCache() { return artifact_cache_; }
 
     /**
      * Test-only hook, called at the start of every admitted compile
@@ -140,9 +149,7 @@ class DaemonServer
 
     std::unique_ptr<ThreadPool> pool_;
     TuneCache tune_cache_;
-
-    std::mutex memo_mutex_;
-    std::map<std::string, std::string> artifact_memo_;
+    ArtifactCache artifact_cache_;
 
     DaemonStats stats_;
     std::atomic<std::int64_t> completed_since_snapshot_{0};

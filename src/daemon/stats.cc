@@ -130,17 +130,19 @@ DaemonStats::recordMemo(bool hit)
 }
 
 void
-DaemonStats::recordStage(const std::string &stage, double wall_ms)
+DaemonStats::recordStage(const std::string &stage, double wall_ms,
+                         bool cached)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    stages_[stage].record(wall_ms);
+    (cached ? replay_stages_ : stages_)[stage].record(wall_ms);
 }
 
 ConfigValue
 DaemonStats::toConfig(std::int64_t queue_depth, std::int64_t inflight,
                       std::int64_t clients,
                       std::int64_t tune_cache_entries,
-                      std::int64_t tune_cache_hits) const
+                      std::int64_t tune_cache_hits,
+                      ConfigValue artifact_cache) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ConfigValue::Object doc;
@@ -163,6 +165,7 @@ DaemonStats::toConfig(std::int64_t queue_depth, std::int64_t inflight,
                           / static_cast<double>(lookups)
                     : 0.0);
     doc["artifact_memo"] = ConfigValue::makeObject(std::move(memo));
+    doc["artifact_cache"] = std::move(artifact_cache);
 
     ConfigValue::Object tune;
     tune["entries"] = number(tune_cache_entries);
@@ -174,6 +177,11 @@ DaemonStats::toConfig(std::int64_t queue_depth, std::int64_t inflight,
     for (const auto &[name, hist] : stages_)
         stage_rows[name] = hist.toConfig();
     doc["stage_latency"] = ConfigValue::makeObject(std::move(stage_rows));
+    ConfigValue::Object replay_rows;
+    for (const auto &[name, hist] : replay_stages_)
+        replay_rows[name] = hist.toConfig();
+    doc["stage_replay_latency"] =
+        ConfigValue::makeObject(std::move(replay_rows));
     return ConfigValue::makeObject(std::move(doc));
 }
 

@@ -57,17 +57,26 @@ class DaemonStats
     void recordFailed();
     void recordCanceled(std::int64_t dropped);
     void recordMemo(bool hit);
-    void recordStage(const std::string &stage, double wall_ms);
+    /** Per-stage latency sample. @p cached routes a cache replay into
+     * the separate "stage_replay_latency" histograms so first-run
+     * compute timings never pollute the replay distribution (and vice
+     * versa). */
+    void recordStage(const std::string &stage, double wall_ms,
+                     bool cached = false);
 
     /**
      * Snapshot as kvjson. @p queue_depth / @p inflight / @p clients are
      * the scheduler's live gauges; @p tune_cache_entries /
-     * @p tune_cache_hits mirror the shared TuneCache.
+     * @p tune_cache_hits mirror the shared TuneCache, and
+     * @p artifact_cache is ArtifactCache::toConfig() (per-stage hit
+     * rates, capacity, evictions).
      */
     ConfigValue toConfig(std::int64_t queue_depth, std::int64_t inflight,
                          std::int64_t clients,
                          std::int64_t tune_cache_entries,
-                         std::int64_t tune_cache_hits) const;
+                         std::int64_t tune_cache_hits,
+                         ConfigValue artifact_cache =
+                             ConfigValue::makeObject({})) const;
 
   private:
     mutable std::mutex mutex_;
@@ -80,6 +89,7 @@ class DaemonStats
     std::int64_t memo_misses_ = 0;
     LatencyHistogram total_;
     std::map<std::string, LatencyHistogram> stages_;
+    std::map<std::string, LatencyHistogram> replay_stages_;
 };
 
 } // namespace cimmlc

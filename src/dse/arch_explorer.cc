@@ -376,6 +376,25 @@ ArchExplorer::enumerate() const
     return candidates;
 }
 
+Status
+ArchExplorer::restrictToShard(int shard, int count)
+{
+    if (count < 1 || shard < 0 || shard >= count)
+        return invalidArgument(
+            strformat("bad shard %d/%d: need 0 <= shard < count",
+                      shard, count));
+    if (spec_.budget.enabled())
+        return invalidArgument(
+            "arch-dse sharding requires an exhaustive spec (no "
+            "'budget' / --search-budget)");
+    if (spec_.tune)
+        return invalidArgument(
+            "arch-dse sharding requires an untuned spec (no 'tune')");
+    shard_index_ = shard;
+    shard_count_ = count;
+    return Status::ok();
+}
+
 StatusOr<DseResult>
 ArchExplorer::explore(TuneCache *cache) const
 {
@@ -413,7 +432,19 @@ ArchExplorer::explore(TuneCache *cache) const
     std::vector<std::string> keys(result.candidates.size());
     std::vector<std::size_t> copy_from(result.candidates.size(),
                                        result.candidates.size());
+    const bool sharded = shard_count_ > 1;
     for (DseCandidate &candidate : result.candidates) {
+        if (sharded
+            && static_cast<int>(
+                   candidate.index
+                   % static_cast<std::size_t>(shard_count_))
+                   != shard_index_) {
+            // Another shard owns this candidate: leave it unevaluated
+            // and out of this slice's front. Dedup below is then
+            // shard-local; the merge replays the global pass.
+            candidate.full_eval = false;
+            continue;
+        }
         if (!candidate.status.isOk())
             continue;
         // The arch identity alone for tuned runs (the tuner covers every
@@ -593,7 +624,9 @@ ArchExplorer::explore(TuneCache *cache) const
     result.front = paretoFrontIndices(result.candidates);
     for (std::size_t index : result.front)
         result.candidates[index].on_front = true;
-    if (result.front.empty()) {
+    // A shard slice may legitimately own no feasible candidate; only
+    // the full (merged or unsharded) sweep treats that as an error.
+    if (result.front.empty() && !sharded) {
         Status first = internalError("empty sweep");
         for (const DseCandidate &candidate : result.candidates) {
             if (!candidate.status.isOk()) {

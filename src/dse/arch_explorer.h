@@ -220,6 +220,18 @@ class ArchExplorer
     const DseSpec &spec() const { return spec_; }
 
     /**
+     * Restricts explore() to the candidates whose enumeration index
+     * satisfies `index % count == shard` — one slice of a cross-process
+     * sweep (compiler/shard.h). Requires an exhaustive, untuned spec:
+     * halving promotion and the shared tuner memo are globally
+     * adaptive, so their slices could not merge deterministically.
+     * A sharded result's candidates outside the slice are left
+     * unevaluated (full_eval == false) and its Pareto front may be
+     * empty; mergeDseShards() reassembles the full result.
+     */
+    Status restrictToShard(int shard, int count);
+
+    /**
      * The candidate architectures, in deterministic row-major sweep
      * order (first axis slowest). Candidates whose mutated geometry
      * fails CimArchitecture::validate() carry that status so the sweep
@@ -240,6 +252,8 @@ class ArchExplorer
 
   private:
     DseSpec spec_;
+    int shard_index_ = 0;
+    int shard_count_ = 1; //!< 1 = unsharded
 };
 
 } // namespace cimmlc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the stage-level artifact cache: fingerprint hashing
+ * determinism, bounded LRU eviction, per-stage hit/miss accounting, and
+ * the kvjson stats snapshot.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cache/artifact_cache.h"
+
+namespace cimmlc {
+namespace {
+
+ArtifactCache::Entry
+entry(int value)
+{
+    ArtifactCache::Entry e;
+    e.value = std::make_shared<int>(value);
+    e.detail = "v" + std::to_string(value);
+    e.compute_ms = static_cast<double>(value);
+    return e;
+}
+
+int
+valueOf(const ArtifactCache::Entry &e)
+{
+    return *std::static_pointer_cast<const int>(e.value);
+}
+
+// ----- ArtifactHash ------------------------------------------------------
+
+TEST(ArtifactHashTest, IsDeterministic)
+{
+    const std::string a =
+        ArtifactHash().mix("graph").mix(std::int64_t{42}).mix(true)
+            .mix(2.5).digest();
+    const std::string b =
+        ArtifactHash().mix("graph").mix(std::int64_t{42}).mix(true)
+            .mix(2.5).digest();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(ArtifactHashTest, DistinguishesInputs)
+{
+    const std::string base = ArtifactHash().mix("graph").digest();
+    EXPECT_NE(ArtifactHash().mix("grapi").digest(), base);
+    EXPECT_NE(ArtifactHash().mix("graph").mix("x").digest(), base);
+    // Length-prefixed mixing: ("ab", "c") must not alias ("a", "bc").
+    EXPECT_NE(ArtifactHash().mix("ab").mix("c").digest(),
+              ArtifactHash().mix("a").mix("bc").digest());
+    EXPECT_NE(ArtifactHash().mix(1.0).digest(),
+              ArtifactHash().mix(std::int64_t{1}).digest());
+}
+
+// ----- lookup / insert ---------------------------------------------------
+
+TEST(ArtifactCacheTest, MissThenHit)
+{
+    ArtifactCache cache(4);
+    EXPECT_FALSE(cache.lookup("perf", "k1").has_value());
+    cache.insert("perf", "k1", entry(7));
+    const auto found = cache.lookup("perf", "k1");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(valueOf(*found), 7);
+    EXPECT_EQ(found->detail, "v7");
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ArtifactCacheTest, StageNamespacesKeys)
+{
+    ArtifactCache cache(4);
+    cache.insert("schedule", "same-key", entry(1));
+    cache.insert("codegen", "same-key", entry(2));
+    EXPECT_EQ(valueOf(*cache.lookup("schedule", "same-key")), 1);
+    EXPECT_EQ(valueOf(*cache.lookup("codegen", "same-key")), 2);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ArtifactCacheTest, InsertRefreshesExistingKey)
+{
+    ArtifactCache cache(4);
+    cache.insert("perf", "k", entry(1));
+    cache.insert("perf", "k", entry(2));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(valueOf(*cache.lookup("perf", "k")), 2);
+    EXPECT_EQ(cache.evictions(), 0);
+}
+
+// ----- bounded LRU -------------------------------------------------------
+
+TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedAtCapacity)
+{
+    ArtifactCache cache(2);
+    cache.insert("s", "a", entry(1));
+    cache.insert("s", "b", entry(2));
+    // Touch "a" so "b" becomes the eviction victim.
+    EXPECT_TRUE(cache.lookup("s", "a").has_value());
+    cache.insert("s", "c", entry(3));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_TRUE(cache.lookup("s", "a").has_value());
+    EXPECT_FALSE(cache.lookup("s", "b").has_value());
+    EXPECT_TRUE(cache.lookup("s", "c").has_value());
+}
+
+TEST(ArtifactCacheTest, CapacityIsNeverExceeded)
+{
+    ArtifactCache cache(3);
+    for (int i = 0; i < 50; ++i)
+        cache.insert("s", "k" + std::to_string(i), entry(i));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.capacity(), 3u);
+    EXPECT_EQ(cache.evictions(), 47);
+    // The three most recent inserts survive.
+    EXPECT_TRUE(cache.lookup("s", "k49").has_value());
+    EXPECT_TRUE(cache.lookup("s", "k48").has_value());
+    EXPECT_TRUE(cache.lookup("s", "k47").has_value());
+}
+
+TEST(ArtifactCacheTest, ZeroCapacityClampsToOne)
+{
+    ArtifactCache cache(0);
+    EXPECT_EQ(cache.capacity(), 1u);
+    cache.insert("s", "a", entry(1));
+    cache.insert("s", "b", entry(2));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ArtifactCacheTest, ClearResetsEntriesButKeepsCounters)
+{
+    ArtifactCache cache(4);
+    cache.insert("s", "a", entry(1));
+    EXPECT_TRUE(cache.lookup("s", "a").has_value());
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("s", "a").has_value());
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 1);
+}
+
+// ----- stats -------------------------------------------------------------
+
+TEST(ArtifactCacheTest, ToConfigReportsPerStageCounters)
+{
+    ArtifactCache cache(8);
+    cache.insert("schedule", "k", entry(1));
+    cache.lookup("schedule", "k");  // hit
+    cache.lookup("schedule", "x");  // miss
+    cache.lookup("perf", "y");      // miss
+    const ConfigValue doc = cache.toConfig();
+    EXPECT_EQ(doc.getIntOr("capacity", 0), 8);
+    EXPECT_EQ(doc.getIntOr("entries", 0), 1);
+    EXPECT_EQ(doc.getIntOr("hits", 0), 1);
+    EXPECT_EQ(doc.getIntOr("misses", 0), 2);
+    ASSERT_TRUE(doc.has("stages"));
+    const ConfigValue stages = doc.get("stages").value();
+    ASSERT_TRUE(stages.has("schedule"));
+    EXPECT_EQ(stages.get("schedule").value().getIntOr("hits", -1), 1);
+    EXPECT_EQ(stages.get("schedule").value().getIntOr("misses", -1), 1);
+    ASSERT_TRUE(stages.has("perf"));
+    EXPECT_EQ(stages.get("perf").value().getIntOr("misses", -1), 1);
+}
+
+} // namespace
+} // namespace cimmlc

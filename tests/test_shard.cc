@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for cross-process sweep sharding: the I/N spec parser, the
+ * index partition, shard-file envelope validation (schema, spec digest,
+ * coverage), and — the property the subsystem stands on — a sharded
+ * run's merge being byte-identical to the single-process sweep.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "compiler/shard.h"
+
+namespace cimmlc {
+namespace {
+
+BatchSweep
+smokeSweep()
+{
+    auto sweep = sweepFromText(R"({
+      "models": ["mlp", "lenet5", "conv_relu_toy"],
+      "archs": ["isaac", "puma"],
+      "opt": "full",
+      "threads": 1
+    })");
+    EXPECT_TRUE(sweep.isOk()) << sweep.status().toString();
+    return sweep.value();
+}
+
+DseSpec
+smokeDseSpec()
+{
+    auto spec = dseSpecFromText(R"({
+      "model": "lenet5",
+      "arch": "jain",
+      "opt": "full",
+      "threads": 1,
+      "sweep": {
+        "xb_size": [[128, 128], [64, 64]],
+        "core_grid": {"log2": [1, 2]}
+      }
+    })");
+    EXPECT_TRUE(spec.isOk()) << spec.status().toString();
+    return spec.value();
+}
+
+/** Runs the sweep's shard @p shard of @p count and writes its file. */
+std::string
+runBatchShard(const BatchSweep &sweep, int index, int count)
+{
+    const ShardSpec shard{index, count};
+    std::vector<std::size_t> owned;
+    std::vector<BatchJob> slice;
+    for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
+        if (shard.owns(i)) {
+            owned.push_back(i);
+            slice.push_back(sweep.jobs[i]);
+        }
+    }
+    BatchCompiler batch(sweep.options, 1);
+    batch.setLint(sweep.lint, sweep.lint_strict);
+    auto result = batch.run(slice);
+    EXPECT_TRUE(result.isOk()) << result.status().toString();
+    const std::string path = testing::TempDir() + "/cimmlc_shard_"
+                             + std::to_string(::getpid()) + "_"
+                             + std::to_string(index) + "of"
+                             + std::to_string(count) + ".json";
+    EXPECT_TRUE(saveConfigFile(path,
+                               batchShardToConfig(sweep, shard, owned,
+                                                  result.value().entries))
+                    .isOk());
+    return path;
+}
+
+// ----- parseShardSpec ----------------------------------------------------
+
+TEST(ShardSpecTest, ParsesIndexSlashCount)
+{
+    auto shard = parseShardSpec("2/4");
+    ASSERT_TRUE(shard.isOk());
+    EXPECT_EQ(shard.value().index, 2);
+    EXPECT_EQ(shard.value().count, 4);
+    EXPECT_TRUE(shard.value().enabled());
+    EXPECT_FALSE(parseShardSpec("0/1").value().enabled());
+}
+
+TEST(ShardSpecTest, RejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"", "3", "4/4", "5/4", "-1/4", "a/b", "1/0", "1/", "/4",
+          "1/2/3", "1.5/4"}) {
+        EXPECT_FALSE(parseShardSpec(bad).isOk())
+            << "'" << bad << "' should not parse";
+    }
+}
+
+TEST(ShardSpecTest, ShardsPartitionTheIndexSpace)
+{
+    const int count = 3;
+    for (std::size_t index = 0; index < 20; ++index) {
+        int owners = 0;
+        for (int s = 0; s < count; ++s)
+            if ((ShardSpec{s, count}).owns(index))
+                ++owners;
+        EXPECT_EQ(owners, 1) << "index " << index;
+    }
+}
+
+// ----- batch sharding ----------------------------------------------------
+
+TEST(BatchShardTest, TwoShardMergeIsByteIdenticalToSingleProcess)
+{
+    const BatchSweep sweep = smokeSweep();
+
+    BatchCompiler batch(sweep.options, 1);
+    batch.setLint(sweep.lint, sweep.lint_strict);
+    auto single = batch.run(sweep.jobs);
+    ASSERT_TRUE(single.isOk());
+
+    const std::vector<std::string> paths = {runBatchShard(sweep, 0, 2),
+                                            runBatchShard(sweep, 1, 2)};
+    auto merged = mergeBatchShards(sweep, paths);
+    ASSERT_TRUE(merged.isOk()) << merged.status().toString();
+    EXPECT_EQ(merged.value().table(), single.value().table());
+    EXPECT_EQ(merged.value().okCount(), single.value().okCount());
+}
+
+TEST(BatchShardTest, MergeRejectsDigestMismatch)
+{
+    const BatchSweep sweep = smokeSweep();
+    const std::vector<std::string> paths = {runBatchShard(sweep, 0, 2),
+                                            runBatchShard(sweep, 1, 2)};
+
+    BatchSweep other = sweep;
+    other.options = ScheduleOptions::none();
+    auto merged = mergeBatchShards(other, paths);
+    ASSERT_FALSE(merged.isOk());
+    EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchShardTest, MergeRejectsIncompleteAndDuplicateCoverage)
+{
+    const BatchSweep sweep = smokeSweep();
+    const std::string shard0 = runBatchShard(sweep, 0, 2);
+    const std::string shard1 = runBatchShard(sweep, 1, 2);
+
+    // One file of a two-shard run: the declared shard count disagrees
+    // with the merge set.
+    EXPECT_FALSE(mergeBatchShards(sweep, {shard0}).isOk());
+    // The same shard twice.
+    EXPECT_FALSE(mergeBatchShards(sweep, {shard0, shard0}).isOk());
+    // The full set is fine.
+    EXPECT_TRUE(mergeBatchShards(sweep, {shard1, shard0}).isOk());
+}
+
+TEST(BatchShardTest, MergeRejectsNonShardFiles)
+{
+    const BatchSweep sweep = smokeSweep();
+    const std::string path =
+        testing::TempDir() + "/cimmlc_not_a_shard.json";
+    ConfigValue::Object doc;
+    doc["schema"] = ConfigValue::makeString("cimmlc.report.v1");
+    ASSERT_TRUE(
+        saveConfigFile(path, ConfigValue::makeObject(std::move(doc)))
+            .isOk());
+    auto merged = mergeBatchShards(sweep, {path});
+    ASSERT_FALSE(merged.isOk());
+    EXPECT_EQ(merged.status().code(), StatusCode::kParseError);
+}
+
+// ----- arch-dse sharding -------------------------------------------------
+
+TEST(DseShardTest, ShardingRequiresExhaustiveUntunedSpecs)
+{
+    DseSpec budgeted = smokeDseSpec();
+    budgeted.budget.max_full_evals = 2;
+    EXPECT_FALSE(validateDseSpecForSharding(budgeted).isOk());
+
+    DseSpec tuned = smokeDseSpec();
+    tuned.tune = true;
+    EXPECT_FALSE(validateDseSpecForSharding(tuned).isOk());
+
+    EXPECT_TRUE(validateDseSpecForSharding(smokeDseSpec()).isOk());
+}
+
+TEST(DseShardTest, ExplorerRejectsBadShardFilters)
+{
+    ArchExplorer explorer(smokeDseSpec());
+    EXPECT_FALSE(explorer.restrictToShard(2, 2).isOk());
+    EXPECT_FALSE(explorer.restrictToShard(-1, 2).isOk());
+    EXPECT_TRUE(explorer.restrictToShard(1, 2).isOk());
+}
+
+TEST(DseShardTest, TwoShardMergeMatchesSingleProcessRun)
+{
+    const DseSpec spec = smokeDseSpec();
+    // The single-process reference runs with a fresh memo, exactly like
+    // the CLI does — the merged cache accounting must reproduce it.
+    TuneCache cache;
+    auto single = ArchExplorer(spec).explore(&cache);
+    ASSERT_TRUE(single.isOk()) << single.status().toString();
+
+    std::vector<std::string> paths;
+    for (int s = 0; s < 2; ++s) {
+        ArchExplorer explorer(spec);
+        ASSERT_TRUE(explorer.restrictToShard(s, 2).isOk());
+        auto partial = explorer.explore();
+        ASSERT_TRUE(partial.isOk()) << partial.status().toString();
+        const std::string path =
+            testing::TempDir() + "/cimmlc_dse_shard_"
+            + std::to_string(::getpid()) + "_" + std::to_string(s)
+            + ".json";
+        ASSERT_TRUE(saveConfigFile(
+                        path, dseShardToConfig(spec, ShardSpec{s, 2},
+                                               partial.value()))
+                        .isOk());
+        paths.push_back(path);
+    }
+
+    auto merged = mergeDseShards(spec, paths);
+    ASSERT_TRUE(merged.isOk()) << merged.status().toString();
+    // The whole record — table, summary, front, hit accounting — must
+    // reproduce the single-process run byte for byte.
+    EXPECT_EQ(merged.value().table(), single.value().table());
+    EXPECT_EQ(merged.value().summary(), single.value().summary());
+    EXPECT_EQ(merged.value().front, single.value().front);
+    EXPECT_EQ(merged.value().cache_hits, single.value().cache_hits);
+    EXPECT_EQ(merged.value().toConfig().dump(true),
+              single.value().toConfig().dump(true));
+}
+
+TEST(DseShardTest, ShardSliceEvaluatesOnlyOwnedCandidates)
+{
+    const DseSpec spec = smokeDseSpec();
+    ArchExplorer explorer(spec);
+    ASSERT_TRUE(explorer.restrictToShard(0, 2).isOk());
+    auto partial = explorer.explore();
+    ASSERT_TRUE(partial.isOk());
+    for (const DseCandidate &candidate : partial.value().candidates) {
+        if (candidate.index % 2 != 0)
+            EXPECT_FALSE(candidate.full_eval)
+                << "candidate " << candidate.index
+                << " belongs to the other shard";
+    }
+}
+
+} // namespace
+} // namespace cimmlc
