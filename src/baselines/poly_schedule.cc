@@ -133,8 +133,17 @@ polySchedule(const Graph &graph, const CimArchitecture &arch)
         segment.latency_cycles = serial;
         segment.bottleneck_cycles = bottleneck;
         segment.peak_active_xbs = peak;
-        segment.reload_cycles =
-            s == 0 ? 0.0 : reloadCycles(arch, arch.xbar.rows);
+        // Same device physics as the CG scheduler: a core's shared write
+        // drivers serialize the reprogramming of its own crossbars.
+        if (s == 0) {
+            segment.reload_cycles = 0.0;
+        } else {
+            std::vector<const NodeCost *> member_costs;
+            member_costs.reserve(members.size());
+            for (std::size_t idx : members)
+                member_costs.push_back(&costs[idx]);
+            segment.reload_cycles = segmentReloadCycles(arch, member_costs);
+        }
         schedule.segments.push_back(std::move(segment));
         result.batch_interval_cycles += bottleneck;
     }

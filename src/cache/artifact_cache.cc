@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace cimmlc {
 
 // ----- ArtifactHash ---------------------------------------------------------
@@ -90,6 +92,12 @@ slotKey(const std::string &stage, const std::string &key)
 ArtifactCache::ArtifactCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity)
 {
+    // A zero-entry LRU cannot satisfy its own insert contract, so 0 is
+    // clamped — but say so: a caller asking for "no cache" would
+    // otherwise silently get a one-entry cache.
+    if (capacity == 0)
+        warn("artifact cache capacity 0 clamped to 1 (the cache cannot "
+             "be disabled; its smallest size is one entry)");
 }
 
 std::optional<ArtifactCache::Entry>

@@ -244,6 +244,10 @@ sweepFromConfig(const ConfigValue &doc)
     CIMMLC_ASSIGN_OR_RETURN(
         sweep.options,
         scheduleOptionsByName(doc.getStringOr("opt", "full")));
+    if (doc.getBoolOr("dual_mode", false))
+        sweep.options.dual_mode = true;
+    if (doc.getBoolOr("host_offload", false))
+        sweep.options.host_offload = true;
     sweep.threads = static_cast<int>(doc.getIntOr("threads", 0));
     if (sweep.threads < 0)
         return invalidArgument("sweep 'threads' must be >= 0");

@@ -176,6 +176,8 @@ class BatchCompiler
  *     "models": ["resnet18", "vgg16"],  # required, model preset keys
  *     "archs": ["isaac", "puma"],       # required, arch preset keys
  *     "opt": "full",                    # none | cg | cg+mvm | full
+ *     "dual_mode": false,               # per-segment resident arrays
+ *     "host_offload": false,            # price digital runs on the host
  *     "threads": 0,                     # 0 = hardware concurrency
  *     "tune": false,                    # auto-tune each job's options
  *     "objective": "latency",           # latency | energy | edp

@@ -108,6 +108,8 @@ struct CliArgs {
     std::string arch_file;
     std::string opt = "full";
     bool opt_explicit = false;
+    bool dual_mode = false;    //!< force per-segment dual-mode arrays on
+    bool host_offload = false; //!< force host/CIM hybrid offload on
     std::string batch_file;
     std::string arch_dse_file;
     std::string tune_cache_file;
@@ -145,6 +147,7 @@ printUsage(std::FILE *out, const char *argv0)
         out,
         "usage: %s --model NAME | --model-file PATH\n"
         "          [--arch NAME | --arch-file PATH] [--opt LEVEL]\n"
+        "          [--dual-mode] [--host-offload]\n"
         "          [--autotune [--objective latency|energy|edp] "
         "[--autotune-verbose]]\n"
         "          [--search-budget N] [--threads N] [--serial]\n"
@@ -152,8 +155,9 @@ printUsage(std::FILE *out, const char *argv0)
         "          [--lint | --lint-strict] "
         "[--perf-engine closed_form|event]\n"
         "          [--report text|json]\n"
-        "       %s --batch SWEEP.json [--opt LEVEL] [--autotune] "
-        "[--objective NAME]\n"
+        "       %s --batch SWEEP.json [--opt LEVEL] [--dual-mode] "
+        "[--host-offload]\n"
+        "          [--autotune] [--objective NAME]\n"
         "          [--search-budget N] [--threads N] [--serial] "
         "[--lint | --lint-strict]\n"
         "          [--perf-engine closed_form|event]\n"
@@ -231,6 +235,10 @@ runBatch(const CliArgs &args)
         }
         options = overridden.value();
     }
+    if (args.dual_mode)
+        options.dual_mode = true;
+    if (args.host_offload)
+        options.host_offload = true;
     int threads = args.threads >= 0 ? args.threads : sweep.value().threads;
     if (args.serial)
         threads = 1;
@@ -548,6 +556,20 @@ runSingle(const CliArgs &args)
     request.opt = args.opt;
     if (!parsePerfEngineFlag(args, &request.perf_engine))
         return 1;
+    if ((args.dual_mode || args.host_offload) && !args.autotune) {
+        // Overlay the flags on the named level; request.options wins
+        // over the string opt inside the session.
+        auto base = scheduleOptionsByName(args.opt);
+        if (!base.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         base.status().toString().c_str());
+            return 1;
+        }
+        ScheduleOptions overlay = base.value();
+        overlay.dual_mode = args.dual_mode;
+        overlay.host_offload = args.host_offload;
+        request.options = overlay;
+    }
 
     TuneCache tune_cache;
     if (args.autotune) {
@@ -555,6 +577,12 @@ runSingle(const CliArgs &args)
             std::fprintf(stderr,
                          "note: --opt is ignored with --autotune — the "
                          "tuner searches the whole option space\n");
+        }
+        if (args.dual_mode || args.host_offload) {
+            std::fprintf(stderr,
+                         "note: --dual-mode/--host-offload are ignored "
+                         "with --autotune — the tuner searches both "
+                         "knobs automatically\n");
         }
         auto objective = parseTuneObjective(args.objective);
         if (!objective.isOk()) {
@@ -732,6 +760,8 @@ runClient(const CliArgs &args)
     if (args.arch_explicit || args.arch_file.empty())
         request.arch = args.arch;
     request.opt = args.opt;
+    request.dual_mode = args.dual_mode;
+    request.host_offload = args.host_offload;
     request.tune = args.autotune;
     request.objective = args.objective;
     request.search_budget = args.search_budget;
@@ -853,6 +883,10 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             args.opt = v;
             args.opt_explicit = true;
+        } else if (flag == "--dual-mode") {
+            args.dual_mode = true;
+        } else if (flag == "--host-offload") {
+            args.host_offload = true;
         } else if (flag == "--batch") {
             const char *v = next();
             if (!v)
@@ -1064,12 +1098,14 @@ main(int argc, char **argv)
     if (dse_mode
         && (!args.model.empty() || !args.model_file.empty()
             || args.arch_explicit || !args.arch_file.empty()
-            || args.opt_explicit || args.autotune_explicit
+            || args.opt_explicit || args.dual_mode || args.host_offload
+            || args.autotune_explicit
             || args.print_flow || args.print_schedule || args.verify)) {
         std::fprintf(stderr,
                      "--arch-dse reads the workload, base arch, opt "
-                     "level, and tuning from the spec file; drop the "
-                     "conflicting flags\n");
+                     "level (including dual_mode/host_offload), and "
+                     "tuning from the spec file; drop the conflicting "
+                     "flags\n");
         return usage(argv[0]);
     }
     if (batch_mode)

@@ -120,6 +120,7 @@ CompileRequest::validate() const
             "lint needs the meta-operator flow (outputs.flow)");
     CIMMLC_RETURN_IF_ERROR(
         search_budget.validate().withContext("search_budget"));
+    CIMMLC_RETURN_IF_ERROR(host_model.validate().withContext("host_model"));
     return Status::ok();
 }
 
@@ -165,6 +166,8 @@ optionsToConfig(const ScheduleOptions &options)
                                 ? "bits-to-crossbars"
                                 : "bits-to-columns");
     knobs["segment_max_nodes"] = number(options.segment_max_nodes);
+    knobs["dual_mode"] = ConfigValue::makeBool(options.dual_mode);
+    knobs["host_offload"] = ConfigValue::makeBool(options.host_offload);
     knobs["text"] = text(options.toString());
     return ConfigValue::makeObject(std::move(knobs));
 }
@@ -276,6 +279,49 @@ CompileArtifacts::toConfig() const
         doc["lint"] = ConfigValue::makeObject(std::move(lint_obj));
     }
 
+    // Dual-mode / hybrid-offload sections only appear when their knob is
+    // on, so reports from knob-off runs keep their historical bytes.
+    if (options.dual_mode && schedule.has_value()) {
+        ConfigValue::Object mode_obj;
+        std::int64_t resident_count = 0;
+        ConfigValue::Array seg_rows;
+        for (std::size_t s = 0; s < schedule->segments.size(); ++s) {
+            const Segment &segment = schedule->segments[s];
+            if (segment.resident)
+                ++resident_count;
+            ConfigValue::Object row;
+            row["segment"] = number(static_cast<std::int64_t>(s));
+            row["resident"] = ConfigValue::makeBool(segment.resident);
+            row["nodes"] =
+                number(static_cast<std::int64_t>(segment.nodes.size()));
+            row["cores_used"] = number(segment.cores_used);
+            row["reload_cycles"] = number(segment.reload_cycles);
+            seg_rows.push_back(ConfigValue::makeObject(std::move(row)));
+        }
+        mode_obj["resident_segments"] = number(resident_count);
+        mode_obj["segments"] = ConfigValue::makeArray(std::move(seg_rows));
+        doc["mode_map"] = ConfigValue::makeObject(std::move(mode_obj));
+    }
+
+    if (options.host_offload && schedule.has_value()) {
+        ConfigValue::Object offload_obj;
+        offload_obj["host_model"] = text(schedule->host_model.tag());
+        ConfigValue::Array region_rows;
+        for (const HostRegion &region : schedule->host_regions) {
+            ConfigValue::Object row;
+            row["nodes"] =
+                number(static_cast<std::int64_t>(region.nodes.size()));
+            row["host_cycles"] = number(region.host_cycles);
+            row["chip_cycles"] = number(region.chip_cycles);
+            row["transfer_bits"] = number(region.transfer_bits);
+            region_rows.push_back(
+                ConfigValue::makeObject(std::move(row)));
+        }
+        offload_obj["regions"] =
+            ConfigValue::makeArray(std::move(region_rows));
+        doc["offload"] = ConfigValue::makeObject(std::move(offload_obj));
+    }
+
     if (!schedule_report.empty())
         doc["schedule_report"] = text(schedule_report);
 
@@ -381,8 +427,12 @@ CompilerSession::stageLoad(CompileArtifacts &artifacts, std::string &detail)
         // TuneCache fingerprint already covers the graph structure and
         // every cost-relevant Abs-arch parameter, so two requests that
         // price differently can never share a base.
+        // A non-default host model reprices offload-enabled options, so
+        // it joins the base; the default model's tag is empty, keeping
+        // pre-offload digests (and populated caches) valid verbatim.
         base_digest_ = ArtifactHash()
                            .mix(TuneCache::fingerprint(*graph_, *arch_, 0))
+                           .mix(request_.host_model.cacheTag())
                            .digest();
     }
 
@@ -419,6 +469,7 @@ CompilerSession::stageTune(CompileArtifacts &artifacts, std::string &detail)
     config.threads = request_.threads;
     config.cache = request_.tune_cache;
     config.budget = request_.search_budget;
+    config.host_model = request_.host_model;
     const AutoTuner tuner(config);
     CIMMLC_ASSIGN_OR_RETURN(TuneResult tuned, tuner.tune(*graph_, *arch_));
     artifacts.options = tuned.best().options;
@@ -434,7 +485,8 @@ CompilerSession::stageSchedule(CompileArtifacts &artifacts,
 {
     CIMMLC_ASSIGN_OR_RETURN(
         artifacts.schedule,
-        scheduleGraph(*graph_, *arch_, artifacts.options));
+        scheduleGraph(*graph_, *arch_, artifacts.options,
+                      request_.host_model));
     if (request_.outputs.schedule_report)
         artifacts.schedule_report = artifacts.schedule->summary(*graph_);
     detail = strformat("%zu segments, latency %.6g cycles, config %s",

@@ -122,6 +122,12 @@ struct CompileRequest {
     //! explicit options; set by programmatic callers, wins over opt
     std::optional<ScheduleOptions> options;
 
+    //! host-CPU cost model for hybrid offload: prices digital regions
+    //! whenever the effective options (or a tuned candidate) enable
+    //! host_offload. The default model is part of the request identity
+    //! only when it differs from HostModel{} (see HostModel::cacheTag).
+    HostModel host_model;
+
     /**
      * Compile only the topological prefix holding the first N non-input
      * operators of the workload (0 = the whole graph) — the cheap proxy

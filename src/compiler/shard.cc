@@ -352,19 +352,10 @@ dseSpecDigest(const DseSpec &spec)
 Status
 validateDseSpecForSharding(const DseSpec &spec)
 {
-    if (spec.budget.enabled())
-        return invalidArgument(
-            "arch-dse sharding requires an exhaustive spec: "
-            "successive-halving promotion compares candidates across "
-            "the whole sweep, which per-shard slices cannot reproduce "
-            "(drop 'budget' / --search-budget)");
-    if (spec.tune)
-        return invalidArgument(
-            "arch-dse sharding requires an untuned spec: per-candidate "
-            "tuning shares one memo across the sweep, so shard-local "
-            "caches would change the reported hit accounting (drop "
-            "'tune')");
-    return Status::ok();
+    // One source of truth for the reason text: the dse layer owns the
+    // adaptive-search rationale, the CLI shard path just surfaces it
+    // at spec-parse time.
+    return validateSpecForSharding(spec);
 }
 
 ConfigValue

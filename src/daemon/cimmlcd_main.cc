@@ -26,7 +26,9 @@
  *   --snapshot-every N   also snapshot after every N completed
  *                        compiles (default 0 = only at shutdown)
  *   --cache-capacity N   stage-artifact cache entries before LRU
- *                        eviction (default 512)
+ *                        eviction (default 512). 0 is clamped to 1
+ *                        with a warning: the cache cannot be disabled,
+ *                        one entry is its smallest size
  *   --version / --help
  *
  * Clients: `cimmlc --connect PATH --model ... [--report json]`, or any

@@ -36,6 +36,8 @@ RpcCompileRequest::toConfig() const
     doc["arch"] = text(arch);
     doc["arch_text"] = text(arch_text);
     doc["opt"] = text(opt);
+    doc["dual_mode"] = ConfigValue::makeBool(dual_mode);
+    doc["host_offload"] = ConfigValue::makeBool(host_offload);
     doc["tune"] = ConfigValue::makeBool(tune);
     doc["objective"] = text(objective);
     doc["search_budget"] = number(search_budget);
@@ -67,6 +69,17 @@ RpcCompileRequest::toCompileRequest(TuneCache *tune_cache,
     request.arch = arch;
     request.arch_text = arch_text;
     request.opt = opt;
+    if ((dual_mode || host_offload) && !tune) {
+        // Same overlay rule as the CLI: the named level resolves first,
+        // then the knobs force on; request.options wins over the string
+        // opt inside the session. Tuned requests skip it — the tuner
+        // searches both knobs automatically.
+        CIMMLC_ASSIGN_OR_RETURN(ScheduleOptions overlay,
+                                scheduleOptionsByName(opt));
+        overlay.dual_mode = dual_mode;
+        overlay.host_offload = host_offload;
+        request.options = overlay;
+    }
     if (tune) {
         request.tune = true;
         CIMMLC_ASSIGN_OR_RETURN(request.objective,
@@ -93,6 +106,7 @@ parseCompileFrame(const ConfigValue &doc)
     static const std::set<std::string> known = {
         "type",         "id",          "model",      "model_text",
         "arch",         "arch_text",   "opt",        "tune",
+        "dual_mode",    "host_offload",
         "objective",    "search_budget", "perf_engine", "lint",
         "lint_strict",  "verify",
     };
@@ -113,6 +127,8 @@ parseCompileFrame(const ConfigValue &doc)
     request.arch = doc.getStringOr("arch", "");
     request.arch_text = doc.getStringOr("arch_text", "");
     request.opt = doc.getStringOr("opt", "full");
+    request.dual_mode = doc.getBoolOr("dual_mode", false);
+    request.host_offload = doc.getBoolOr("host_offload", false);
     request.tune = doc.getBoolOr("tune", false);
     request.objective = doc.getStringOr("objective", "latency");
     request.search_budget = doc.getIntOr("search_budget", -1);

@@ -52,6 +52,8 @@ struct RpcCompileRequest {
     std::string arch;         //!< preset name (presets::byName)
     std::string arch_text;    //!< inline kvjson Abs-arch
     std::string opt = "full"; //!< none | cg | cg+mvm | full
+    bool dual_mode = false;    //!< overlay: resident dual-mode arrays
+    bool host_offload = false; //!< overlay: host/CIM hybrid offload
     bool tune = false;
     std::string objective = "latency";
     std::int64_t search_budget = -1; //!< -1 = exhaustive

@@ -224,6 +224,10 @@ dseSpecFromConfig(const ConfigValue &doc)
 
     spec.opt = doc.getStringOr("opt", "full");
     CIMMLC_ASSIGN_OR_RETURN(spec.options, scheduleOptionsByName(spec.opt));
+    if (doc.getBoolOr("dual_mode", false))
+        spec.options.dual_mode = true;
+    if (doc.getBoolOr("host_offload", false))
+        spec.options.host_offload = true;
     spec.tune = doc.getBoolOr("tune", false);
     spec.lint = doc.getBoolOr("lint", false);
     CIMMLC_ASSIGN_OR_RETURN(
@@ -377,19 +381,34 @@ ArchExplorer::enumerate() const
 }
 
 Status
+validateSpecForSharding(const DseSpec &spec)
+{
+    // Named reasons, not just "not allowed": both rejections exist
+    // because the search is globally adaptive, and the message says
+    // which global decision a per-shard slice cannot reproduce.
+    if (spec.budget.enabled())
+        return invalidArgument(
+            "arch-dse sharding requires an exhaustive spec: "
+            "successive-halving promotion compares candidates across "
+            "the whole sweep, which per-shard slices cannot reproduce "
+            "(drop 'budget' / --search-budget)");
+    if (spec.tune)
+        return invalidArgument(
+            "arch-dse sharding requires an untuned spec: per-candidate "
+            "tuning shares one memo across the sweep, so shard-local "
+            "caches would change the reported hit accounting "
+            "(drop 'tune')");
+    return Status::ok();
+}
+
+Status
 ArchExplorer::restrictToShard(int shard, int count)
 {
     if (count < 1 || shard < 0 || shard >= count)
         return invalidArgument(
             strformat("bad shard %d/%d: need 0 <= shard < count",
                       shard, count));
-    if (spec_.budget.enabled())
-        return invalidArgument(
-            "arch-dse sharding requires an exhaustive spec (no "
-            "'budget' / --search-budget)");
-    if (spec_.tune)
-        return invalidArgument(
-            "arch-dse sharding requires an untuned spec (no 'tune')");
+    CIMMLC_RETURN_IF_ERROR(validateSpecForSharding(spec_));
     shard_index_ = shard;
     shard_count_ = count;
     return Status::ok();

@@ -46,6 +46,8 @@ namespace cimmlc {
  *     "model": "lenet5",            # or model_file / model_text
  *     "arch": "jain",               # or arch_file / arch_text
  *     "opt": "full",                # fixed options when not tuning
+ *     "dual_mode": false,           # overlay: resident dual-mode arrays
+ *     "host_offload": false,        # overlay: host/CIM hybrid offload
  *     "tune": false,                # auto-tune each candidate's schedule
  *     "objective": "latency",       # ranking (and tuning) objective
  *     "threads": 0,
@@ -98,6 +100,17 @@ struct DseSpec {
      */
     SearchBudget budget;
 };
+
+/**
+ * Whether @p spec may legally be sharded across processes. Sharding
+ * needs every candidate's evaluation to be decidable from the spec
+ * alone; adaptive searches are not, and the returned error names the
+ * specific adaptive mechanism (halving promotion, shared tuner memo)
+ * so a spec author knows which key to drop. Checked by
+ * ArchExplorer::restrictToShard and at spec-parse time by the CLI
+ * shard path (compiler/shard.h).
+ */
+Status validateSpecForSharding(const DseSpec &spec);
 
 /** Parses a DSE spec document / text / file. */
 StatusOr<DseSpec> dseSpecFromConfig(const ConfigValue &doc);

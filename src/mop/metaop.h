@@ -140,6 +140,11 @@ struct MetaOp {
     //! graph node this op was generated from (traceability)
     NodeId origin = kInvalidNode;
 
+    //! hybrid offload: this kDcom/kMov executes on the host CPU. The
+    //! numerics are identical to the chip ALU path — the flag only
+    //! changes where the op is priced, so funcsim replays it unchanged.
+    bool host = false;
+
     /** One-line rendering in the Figure 16 surface syntax. */
     std::string toString() const;
 };

@@ -269,6 +269,9 @@ parseOpLine(const std::string &line)
         CIMMLC_RETURN_IF_ERROR(keyedInt(args, "count", &op.count));
         CIMMLC_RETURN_IF_ERROR(keyedInt(args, "sstride", &op.src_stride));
         CIMMLC_RETURN_IF_ERROR(keyedInt(args, "dstride", &op.dst_stride));
+        std::int64_t host = 0;
+        CIMMLC_RETURN_IF_ERROR(keyedInt(args, "host", &host));
+        op.host = host != 0;
     } else {
         // Anything else is a DCOM function.
         op.kind = MetaOpKind::kDcom;
@@ -289,6 +292,9 @@ parseOpLine(const std::string &line)
             keyedInt(args, "c", &op.dcom_params.channels));
         CIMMLC_RETURN_IF_ERROR(keyedInt(args, "h", &op.dcom_params.in_h));
         CIMMLC_RETURN_IF_ERROR(keyedInt(args, "w", &op.dcom_params.in_w));
+        std::int64_t host = 0;
+        CIMMLC_RETURN_IF_ERROR(keyedInt(args, "host", &host));
+        op.host = host != 0;
     }
     return op;
 }

@@ -143,6 +143,8 @@ MetaOp::toString() const
             extras = strformat(", w=%lld",
                                static_cast<long long>(dcom_params.in_w));
         }
+        if (host)
+            extras += ", host=1";
         if (func == dcomfunc::kAdd || func == dcomfunc::kMatMul) {
             return strformat("%s(src1=%s, src2=%s, dst=%s, len=%lld%s)",
                              func.c_str(), bufAddrToString(src).c_str(),
@@ -155,21 +157,23 @@ MetaOp::toString() const
                          bufAddrToString(dst).c_str(),
                          static_cast<long long>(len), extras.c_str());
       }
-      case MetaOpKind::kMov:
+      case MetaOpKind::kMov: {
+        const char *host_tag = host ? ", host=1" : "";
         if (count > 1) {
             return strformat(
                 "mov(src=%s, dst=%s, len=%lld, count=%lld, sstride=%lld, "
-                "dstride=%lld)",
+                "dstride=%lld%s)",
                 bufAddrToString(src).c_str(),
                 bufAddrToString(dst).c_str(), static_cast<long long>(len),
                 static_cast<long long>(count),
                 static_cast<long long>(src_stride),
-                static_cast<long long>(dst_stride));
+                static_cast<long long>(dst_stride), host_tag);
         }
-        return strformat("mov(src=%s, dst=%s, len=%lld)",
+        return strformat("mov(src=%s, dst=%s, len=%lld%s)",
                          bufAddrToString(src).c_str(),
                          bufAddrToString(dst).c_str(),
-                         static_cast<long long>(len));
+                         static_cast<long long>(len), host_tag);
+      }
     }
     return "?";
 }

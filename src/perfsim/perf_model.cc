@@ -114,8 +114,10 @@ evaluateSchedule(const Graph &graph, const CimArchitecture &arch,
             // Weight programming: all replicas' cells, once per
             // inference for reload-bearing segments, amortized to zero
             // for the resident first segment (counted when reload
-            // cycles are present).
-            if (schedule.segments.size() > 1 && mapping.segment > 0) {
+            // cycles are present). Dual-mode resident segments are
+            // programmed once at init and never rewritten.
+            if (schedule.segments.size() > 1 && mapping.segment > 0 &&
+                !mapping.resident) {
                 const double cells =
                     static_cast<double>(matrix->rows) *
                     static_cast<double>(matrix->cols) *
@@ -126,8 +128,16 @@ evaluateSchedule(const Graph &graph, const CimArchitecture &arch,
             report.crossbars_mapped += mapping.totalCrossbars();
         } else {
             const std::int64_t ops = aluOpCount(graph, mapping.node);
-            report.energy.alu_pj +=
-                energy_model.aluPj(static_cast<double>(ops));
+            if (mapping.on_host) {
+                // Hybrid offload: the host CPU prices its own compute;
+                // the boundary transfer still crosses the chip link.
+                report.energy.alu_pj +=
+                    schedule.host_model.energy_pj_per_op *
+                    static_cast<double>(ops);
+            } else {
+                report.energy.alu_pj +=
+                    energy_model.aluPj(static_cast<double>(ops));
+            }
             const std::int64_t bits =
                 outputElements(graph, mapping.node) *
                 arch.activation_bits;

@@ -29,13 +29,18 @@ constexpr std::uint32_t kBitsToCrossbarsBit = 1u << 5;
 constexpr std::uint32_t kSegmentCapShift = 6;
 constexpr std::uint32_t kSegmentCapMask = 3u << kSegmentCapShift;
 constexpr std::int64_t kSegmentCaps[] = {0, 1, 2, 4};
-constexpr std::uint32_t kEncodingSpace = 1u << 8;
+// Bit 8: dual-mode (resident) arrays. Bit 9: hybrid host offload.
+constexpr std::uint32_t kDualModeBit = 1u << 8;
+constexpr std::uint32_t kHostOffloadBit = 1u << 9;
+constexpr std::uint32_t kEncodingSpace = 1u << 10;
 
 // The public pruning masks (autotune.h) must track this bit layout.
 static_assert(kTuneKnobMask
               == (kCgDuplicationBit | kCgPipelineBit | kMvmDuplicationBit
                   | kMvmPipelineBit | kVvmRemapBit));
-static_assert(kTuneContextMask == (kBitsToCrossbarsBit | kSegmentCapMask));
+static_assert(kTuneContextMask
+              == (kBitsToCrossbarsBit | kSegmentCapMask | kDualModeBit
+                  | kHostOffloadBit));
 
 /** The option clamp scheduleGraph applies for @p mode. */
 ScheduleOptions
@@ -91,12 +96,16 @@ graphStructureHash(const Graph &graph)
 
 void
 evaluateCandidate(const Graph &graph, const CimArchitecture &arch,
-                  TuneCandidate &candidate, TuneCache *cache,
+                  const HostModel &host_model, TuneCandidate &candidate,
+                  TuneCache *cache,
                   std::atomic<std::int64_t> &cache_hits)
 {
     std::string key;
     if (cache != nullptr) {
-        key = TuneCache::fingerprint(graph, arch, candidate.encoding);
+        key = TuneCache::fingerprint(graph, arch, candidate.encoding, {},
+                                     candidate.options.host_offload
+                                         ? host_model.cacheTag()
+                                         : "");
         if (auto hit = cache->lookup(key)) {
             candidate.status = hit->status;
             candidate.latency_cycles = hit->latency_cycles;
@@ -115,6 +124,7 @@ evaluateCandidate(const Graph &graph, const CimArchitecture &arch,
         request.graph = &graph;
         request.arch_ref = &arch;
         request.options = candidate.options;
+        request.host_model = host_model;
         request.threads = 1;
         request.outputs.flow = false;
         request.stop_after = CompileStage::kPerf;
@@ -270,7 +280,8 @@ TuneCache::size() const
 std::string
 TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
                        std::uint32_t encoding,
-                       const SearchFidelity &fidelity)
+                       const SearchFidelity &fidelity,
+                       const std::string &host_tag)
 {
     // Identity of the evaluation inputs: graph structure summarized by
     // name + size + work, architecture by every cost-relevant parameter.
@@ -293,6 +304,11 @@ TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
     };
     mix_doubles(arch.chip.core_noc_cost);
     mix_doubles(arch.core.xb_noc_cost);
+    // A non-default host model changes how offload-enabled encodings
+    // price; the default model's tag is empty so pre-offload
+    // fingerprints — and persisted caches — remain valid verbatim.
+    const std::string host_part =
+        host_tag.empty() ? std::string() : "|hm" + host_tag;
     return strformat(
         "%s|n%zu|w%lld|m%lld|h%016llx||%s|%s|c%lldx%lld|x%lldx%lld|"
         "r%lldx%lld|pr%lld|dac%d|adc%d|ct%d|cb%d|wb%d|ab%d|"
@@ -325,7 +341,7 @@ TuneCache::fingerprint(const Graph &graph, const CimArchitecture &arch,
         // a workload prefix) are tagged so a warm cache entry from a
         // rung can never alias — and never poison — a full evaluation
         // of the same point.
-        fidelity.tag().c_str());
+        fidelity.tag().c_str()) + host_part;
 }
 
 ConfigValue
@@ -466,6 +482,10 @@ AutoTuner::encodeOptions(const ScheduleOptions &options)
     if (options.segment_max_nodes <= 0)
         cap_index = 0;
     encoding |= cap_index << kSegmentCapShift;
+    if (options.dual_mode)
+        encoding |= kDualModeBit;
+    if (options.host_offload)
+        encoding |= kHostOffloadBit;
     return encoding;
 }
 
@@ -483,6 +503,8 @@ AutoTuner::decodeOptions(std::uint32_t encoding)
                           : DimensionBinding::bitsToColumns();
     options.segment_max_nodes =
         kSegmentCaps[(encoding & kSegmentCapMask) >> kSegmentCapShift];
+    options.dual_mode = (encoding & kDualModeBit) != 0;
+    options.host_offload = (encoding & kHostOffloadBit) != 0;
     return options;
 }
 
@@ -526,14 +548,15 @@ AutoTuner::tune(const Graph &graph, const CimArchitecture &arch) const
         // against it.
         if (config_.threads == 1) {
             for (TuneCandidate &candidate : result.candidates)
-                evaluateCandidate(graph, arch, candidate, config_.cache,
-                                  cache_hits);
+                evaluateCandidate(graph, arch, config_.host_model,
+                                  candidate, config_.cache, cache_hits);
         } else {
             ThreadPool pool(config_.threads);
             for (TuneCandidate &candidate : result.candidates) {
                 pool.submit(
                     [this, &graph, &arch, &candidate, &cache_hits] {
-                        evaluateCandidate(graph, arch, candidate,
+                        evaluateCandidate(graph, arch,
+                                          config_.host_model, candidate,
                                           config_.cache, cache_hits);
                     });
             }
@@ -605,14 +628,16 @@ AutoTuner::tune(const Graph &graph, const CimArchitecture &arch) const
                     TuneCandidate &candidate = result.candidates[index];
                     pool->submit(
                         [this, &graph, &arch, &candidate, &cache_hits] {
-                            evaluateCandidate(graph, arch, candidate,
-                                              config_.cache, cache_hits);
+                            evaluateCandidate(graph, arch,
+                                              config_.host_model,
+                                              candidate, config_.cache,
+                                              cache_hits);
                         });
                 }
                 pool->wait();
             } else {
                 for (std::size_t index : to_eval)
-                    evaluateCandidate(graph, arch,
+                    evaluateCandidate(graph, arch, config_.host_model,
                                       result.candidates[index],
                                       config_.cache, cache_hits);
             }

@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "search/search_budget.h"
+#include "sched/host_model.h"
 #include "sched/options.h"
 
 namespace cimmlc {
@@ -38,10 +39,10 @@ namespace cimmlc {
 //! CG/MVM/VVM knobs) — the "enabled-knob set" dominance pruning orders
 //! candidates by (search/dominance.h).
 constexpr std::uint32_t kTuneKnobMask = 0x1Fu;
-//! Encoding bits that are a choice, not a toggle (dimension binding and
-//! the segmentation-cap field): pruning only compares candidates that
-//! agree on them.
-constexpr std::uint32_t kTuneContextMask = 0xE0u;
+//! Encoding bits that are a choice, not a toggle (dimension binding,
+//! the segmentation-cap field, dual-mode arrays, and host offload):
+//! pruning only compares candidates that agree on them.
+constexpr std::uint32_t kTuneContextMask = 0x3E0u;
 
 /** What the tuner minimizes. */
 enum class TuneObjective {
@@ -153,10 +154,17 @@ class TuneCache
      * candidates (the DSE explorer sweeps them) can never alias two
      * arch points that price differently.
      */
+    /**
+     * @param host_tag HostModel::cacheTag() of a non-default host model
+     *   when the encoding enables host offload, "" otherwise. The
+     *   default model's tag is empty so fingerprints (and persisted
+     *   caches) from before hybrid offload stay valid verbatim.
+     */
     static std::string fingerprint(const Graph &graph,
                                    const CimArchitecture &arch,
                                    std::uint32_t encoding,
-                                   const SearchFidelity &fidelity = {});
+                                   const SearchFidelity &fidelity = {},
+                                   const std::string &host_tag = "");
 
   private:
     mutable std::mutex mutex_;
@@ -184,6 +192,8 @@ struct AutoTuneConfig {
      * byte-identical across thread counts.
      */
     SearchBudget budget;
+    //! host-CPU cost model used by candidates that enable host offload
+    HostModel host_model;
 };
 
 /**

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <set>
 
 #include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/strutil.h"
+#include "graph/analysis.h"
 
 namespace cimmlc {
 
@@ -230,7 +232,8 @@ struct SegmentPlan {
 SegmentPlan
 planSegment(const std::vector<NodeCost> &costs,
             const std::vector<std::size_t> &members,
-            const CimArchitecture &arch, const ScheduleOptions &options)
+            const CimArchitecture &arch, const ScheduleOptions &options,
+            std::int64_t budget)
 {
     SegmentPlan plan;
     plan.members = members;
@@ -272,8 +275,8 @@ planSegment(const std::vector<NodeCost> &costs,
 
     if (options.cg_duplication) {
         plan.dup = allocateDuplication(plan.latencies, plan.core_costs,
-                                       arch.chip.coreNumber(),
-                                       options.cg_pipeline, plan.caps);
+                                       budget, options.cg_pipeline,
+                                       plan.caps);
         plan.latency = evaluate(plan.dup);
         if (options.cg_pipeline) {
             // Fill-dominated graphs (chains of full-input stages such as
@@ -281,7 +284,7 @@ planSegment(const std::vector<NodeCost> &costs,
             // the min-sum allocation can then beat the min-max one. Try
             // both and keep the better schedule.
             std::vector<std::int64_t> serial_dup = allocateDuplication(
-                plan.latencies, plan.core_costs, arch.chip.coreNumber(),
+                plan.latencies, plan.core_costs, budget,
                 /*pipelined=*/false, plan.caps);
             const SegmentLatency serial_eval = evaluate(serial_dup);
             if (serial_eval.pipelined < plan.latency.pipelined) {
@@ -298,11 +301,110 @@ planSegment(const std::vector<NodeCost> &costs,
     return plan;
 }
 
+/**
+ * Hybrid host/CIM offload: prices every maximal run of consecutive
+ * digital nodes against the host model and moves it to the host when
+ * launch + boundary transfer + host compute beats the chip ALU time.
+ * Offloaded nodes keep their pipeline-stage role — alu_cycles carries
+ * the host time (the first node of a region also pays the launch and
+ * the link transfer), so segmentation prices them transparently.
+ */
+std::vector<HostRegion>
+offloadHostRegions(const Graph &graph, const CimArchitecture &arch,
+                   const HostModel &host, std::vector<NodeCost> &costs)
+{
+    std::vector<HostRegion> regions;
+    // Producers/consumers by cost index, for boundary accounting.
+    std::map<TensorId, std::size_t> producer;
+    std::map<TensorId, std::vector<std::size_t>> consumers;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        const Node &node = graph.node(costs[i].node);
+        producer[node.output] = i;
+        for (TensorId input : node.inputs)
+            consumers[input].push_back(i);
+    }
+    const std::set<TensorId> graph_outputs(graph.outputs().begin(),
+                                           graph.outputs().end());
+
+    for (std::size_t begin = 0; begin < costs.size();) {
+        if (costs[begin].is_cim) {
+            ++begin;
+            continue;
+        }
+        std::size_t end = begin;
+        while (end < costs.size() && !costs[end].is_cim)
+            ++end;
+        const auto inside = [begin, end](std::size_t i) {
+            return i >= begin && i < end;
+        };
+
+        double chip_cycles = 0.0;
+        double host_compute = 0.0;
+        double boundary_bits = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Node &node = graph.node(costs[i].node);
+            chip_cycles += costs[i].alu_cycles;
+            host_compute += hostComputeCycles(
+                host,
+                static_cast<double>(aluOpCount(graph, costs[i].node)));
+            for (TensorId input : node.inputs) {
+                const auto pit = producer.find(input);
+                if (pit != producer.end() && inside(pit->second))
+                    continue; // produced inside the region
+                boundary_bits +=
+                    static_cast<double>(graph.tensor(input).numel()) *
+                    static_cast<double>(arch.activation_bits);
+            }
+            bool escapes = graph_outputs.count(node.output) > 0;
+            const auto cit = consumers.find(node.output);
+            if (!escapes && cit != consumers.end()) {
+                for (std::size_t user : cit->second)
+                    escapes = escapes || !inside(user);
+            }
+            if (escapes) {
+                boundary_bits +=
+                    static_cast<double>(
+                        graph.tensor(node.output).numel()) *
+                    static_cast<double>(arch.activation_bits);
+            }
+        }
+
+        const double transfer = hostTransferCycles(host, boundary_bits);
+        const double host_cycles =
+            host.launch_overhead_cycles + transfer + host_compute;
+        if (chip_cycles > 0.0 && host_cycles < chip_cycles) {
+            HostRegion region;
+            region.host_cycles = host_cycles;
+            region.chip_cycles = chip_cycles;
+            region.transfer_bits = boundary_bits;
+            for (std::size_t i = begin; i < end; ++i) {
+                NodeCost &cost = costs[i];
+                region.nodes.push_back(cost.node);
+                cost.on_host = true;
+                cost.alu_cycles = hostComputeCycles(
+                    host, static_cast<double>(
+                              aluOpCount(graph, cost.node)));
+                if (i == begin) {
+                    cost.alu_cycles +=
+                        host.launch_overhead_cycles + transfer;
+                }
+                if (cost.alu_cycles > 0.0) {
+                    cost.is_stage = true;
+                    cost.base_latency = cost.alu_cycles;
+                }
+            }
+            regions.push_back(std::move(region));
+        }
+        begin = end;
+    }
+    return regions;
+}
+
 } // namespace
 
 StatusOr<CgResult>
 runCgOptimization(const Graph &graph, const CimArchitecture &arch,
-                  const ScheduleOptions &options)
+                  const ScheduleOptions &options, const HostModel &host)
 {
     CIMMLC_RETURN_IF_ERROR(graph.validate());
     CIMMLC_RETURN_IF_ERROR(arch.validate());
@@ -310,6 +412,11 @@ runCgOptimization(const Graph &graph, const CimArchitecture &arch,
     CgResult result;
     CIMMLC_RETURN_IF_ERROR(options.binding.validate());
     result.costs = computeGraphCosts(graph, arch, options.binding);
+    if (options.host_offload) {
+        CIMMLC_RETURN_IF_ERROR(host.validate());
+        result.host_regions =
+            offloadHostRegions(graph, arch, host, result.costs);
+    }
     const std::int64_t budget = arch.chip.coreNumber();
 
     // ----- resource-adaptive segmentation -------------------------------
@@ -350,12 +457,13 @@ runCgOptimization(const Graph &graph, const CimArchitecture &arch,
             while (builds[s].members.size() > 1) {
                 SegmentPlan with_all =
                     planSegment(result.costs, builds[s].members, arch,
-                                options);
+                                options, budget);
                 std::vector<std::size_t> fewer = builds[s].members;
                 const std::size_t moved = fewer.back();
                 fewer.pop_back();
                 SegmentPlan without_last =
-                    planSegment(result.costs, fewer, arch, options);
+                    planSegment(result.costs, fewer, arch, options,
+                                budget);
                 const double before = options.cg_pipeline
                                           ? with_all.latency.pipelined
                                           : with_all.latency.serial;
@@ -391,12 +499,95 @@ runCgOptimization(const Graph &graph, const CimArchitecture &arch,
         }
     }
 
-    // ----- per-segment duplication + assignment -------------------------
+    // ----- dual-mode resident pinning ------------------------------------
+    // "Be CIM or Be Memory": permanently claim a later segment's minimum
+    // cores so its crossbars stay programmed across segment switches
+    // (its per-inference reload disappears), at the price of a smaller
+    // duplication budget for every other segment. Greedy: per round,
+    // pin the one segment whose pinning most improves total latency;
+    // stop when nothing strictly improves. Segment 0 never pays a
+    // reload, so it is never a candidate.
+    std::vector<bool> resident(builds.size(), false);
+    std::int64_t claimed = 0;
+    // Per-segment reload volume: a core's shared write drivers serialize
+    // its own crossbars, so a segment whose replicas pack many crossbars
+    // per core pays proportionally more to reprogram — pinning such a
+    // segment removes real volume, not a flat constant.
+    std::vector<double> seg_reload(builds.size(), 0.0);
+    double max_reload = 0.0;
     for (std::size_t s = 0; s < builds.size(); ++s) {
-        SegmentPlan plan =
-            planSegment(result.costs, builds[s].members, arch, options);
+        std::vector<const NodeCost *> members;
+        members.reserve(builds[s].members.size());
+        for (std::size_t idx : builds[s].members)
+            members.push_back(&result.costs[idx]);
+        seg_reload[s] = segmentReloadCycles(arch, members);
+        max_reload = std::max(max_reload, seg_reload[s]);
+    }
+    if (options.dual_mode && builds.size() > 1 && max_reload > 0.0) {
+        auto totalLatency = [&](const std::vector<bool> &res,
+                                std::int64_t res_claimed) -> double {
+            const std::int64_t remaining = budget - res_claimed;
+            if (remaining <= 0)
+                return std::numeric_limits<double>::infinity();
+            double total = 0.0;
+            for (std::size_t s = 0; s < builds.size(); ++s) {
+                if (!res[s] && builds[s].min_cores > remaining)
+                    return std::numeric_limits<double>::infinity();
+                const std::int64_t seg_budget =
+                    res[s] ? builds[s].min_cores : remaining;
+                SegmentPlan plan =
+                    planSegment(result.costs, builds[s].members, arch,
+                                options, seg_budget);
+                total += options.cg_pipeline ? plan.latency.pipelined
+                                             : plan.latency.serial;
+                if (s > 0 && !res[s])
+                    total += seg_reload[s];
+            }
+            return total;
+        };
+        double best_total = totalLatency(resident, claimed);
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            std::size_t best_s = builds.size();
+            double best_candidate = best_total;
+            for (std::size_t s = 1; s < builds.size(); ++s) {
+                if (resident[s] || builds[s].min_cores <= 0)
+                    continue;
+                std::vector<bool> trial = resident;
+                trial[s] = true;
+                const double total = totalLatency(
+                    trial, claimed + builds[s].min_cores);
+                if (total < best_candidate) {
+                    best_candidate = total;
+                    best_s = s;
+                }
+            }
+            if (best_s < builds.size()) {
+                resident[best_s] = true;
+                claimed += builds[best_s].min_cores;
+                best_total = best_candidate;
+                improved = true;
+            }
+        }
+    }
+
+    // ----- per-segment duplication + assignment -------------------------
+    // Resident segments claim core ranges stacked at the top of the core
+    // space (starting at `remaining`), so they never collide with the
+    // per-segment ranges that non-resident segments reuse from core 0.
+    const std::int64_t remaining = budget - claimed;
+    std::int64_t resident_cursor = remaining;
+    for (std::size_t s = 0; s < builds.size(); ++s) {
+        const std::int64_t seg_budget =
+            resident[s] ? builds[s].min_cores : remaining;
+        SegmentPlan plan = planSegment(result.costs, builds[s].members,
+                                       arch, options, seg_budget);
 
         Segment segment;
+        segment.resident = resident[s];
+        const std::int64_t core_origin =
+            resident[s] ? resident_cursor : 0;
         std::int64_t next_core = 0;
         for (std::size_t i = 0; i < plan.members.size(); ++i) {
             const NodeCost &cost = result.costs[plan.members[i]];
@@ -407,28 +598,32 @@ runCgOptimization(const Graph &graph, const CimArchitecture &arch,
                 cost.is_cim ? cost.cores_per_replica : 0;
             decision.chip_splits = cost.chip_splits;
             decision.segment = static_cast<std::int64_t>(s);
+            decision.resident = resident[s];
             decision.effective_cpw =
                 cost.is_cim ? bandwidthBoundCyclesPerWindow(cost, arch)
                             : 0.0;
             decision.stage_latency =
                 plan.latencies[i] / static_cast<double>(plan.dup[i]);
             if (cost.is_cim) {
-                decision.core_base = next_core;
+                decision.core_base = core_origin + next_core;
                 next_core +=
                     decision.duplication * decision.cores_per_replica;
             }
             result.decisions[cost.node] = decision;
             segment.nodes.push_back(cost.node);
         }
+        if (resident[s])
+            resident_cursor += next_core;
         segment.cores_used = next_core;
         segment.bottleneck_cycles = plan.latency.bottleneck;
         segment.latency_cycles = options.cg_pipeline
                                      ? plan.latency.pipelined
                                      : plan.latency.serial;
-        // Weight programming: the first segment loads at init time; every
-        // later segment reprograms the arrays before running.
+        // Weight programming: the first segment loads at init time,
+        // resident segments program once at init and never again; every
+        // other later segment reprograms the arrays before running.
         segment.reload_cycles =
-            s == 0 ? 0.0 : reloadCycles(arch, arch.xbar.rows);
+            (s == 0 || resident[s]) ? 0.0 : seg_reload[s];
         builds[s].min_cores = next_core;
         result.segments.push_back(std::move(segment));
     }

@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "sched/cost_model.h"
+#include "sched/host_model.h"
 #include "sched/options.h"
 #include "sched/schedule.h"
 
@@ -38,6 +39,8 @@ struct CgDecision {
     double stage_latency = 0.0;
     //! per-window cycles after the bandwidth bound
     double effective_cpw = 0.0;
+    //! dual-mode: the node's segment keeps its crossbars programmed
+    bool resident = false;
 };
 
 /** Output of the CG level, consumed by the MVM and VVM levels. */
@@ -47,12 +50,24 @@ struct CgResult {
     std::vector<Segment> segments;
     //! VVM remap spread per node (filled by the VVM level; 1 = no remap)
     std::map<NodeId, std::int64_t> vvm_spreads;
+    //! hybrid offload: digital runs moved to the host (host_offload)
+    std::vector<HostRegion> host_regions;
 };
 
-/** Runs CG-grained optimization of @p graph on @p arch. */
+/**
+ * Runs CG-grained optimization of @p graph on @p arch.
+ *
+ * With options.host_offload, maximal runs of consecutive digital nodes
+ * are priced against @p host before segmentation and moved to the host
+ * when that is faster (their NodeCost::alu_cycles then carries the host
+ * time, so segmentation and pipelining price them transparently). With
+ * options.dual_mode, segments are greedily pinned resident after the
+ * refinement loop while total latency strictly improves.
+ */
 StatusOr<CgResult> runCgOptimization(const Graph &graph,
                                      const CimArchitecture &arch,
-                                     const ScheduleOptions &options);
+                                     const ScheduleOptions &options,
+                                     const HostModel &host = HostModel{});
 
 /**
  * Duplication allocator for one segment (exposed for unit tests).

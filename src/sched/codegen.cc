@@ -309,8 +309,10 @@ Emitter::emitCoreMode(const Node &node, const OperatorMapping &mapping)
         payload =
             std::make_shared<Int8Tensor>(graph_.weight(node.id));
     }
-    // Segment 0 programs at init time; later segments reprogram inline —
-    // they time-multiplex the same cores (the reload of Figure 9(b)).
+    // Segment 0 and dual-mode resident segments program at init time;
+    // other later segments reprogram inline — they time-multiplex the
+    // same cores (the reload of Figure 9(b)). Resident segments own
+    // their cores exclusively, so their one-time init write is safe.
     for (std::int64_t rep = 0; rep < replicas; ++rep) {
         MetaOp op;
         op.kind = MetaOpKind::kWriteCore;
@@ -318,7 +320,7 @@ Emitter::emitCoreMode(const Node &node, const OperatorMapping &mapping)
         op.core_params = params;
         op.payload = payload;
         op.origin = node.id;
-        if (mapping.segment == 0) {
+        if (mapping.segment == 0 || mapping.resident) {
             program_.emitInit(std::move(op));
         } else {
             program_.emit(std::move(op));
@@ -474,11 +476,13 @@ Emitter::emitCrossbarMode(const Node &node, const OperatorMapping &mapping)
         std::vector<Stmt> writes;
         for (std::int64_t rep = 0; rep < replicas; ++rep)
             emit_writes(rep, 0, tiles, &writes);
-        // Segment 0 programs at init time; later segments reprogram
-        // inline — they time-multiplex the same cores (the reload of
-        // Figure 9(b)).
-        auto &section = mapping.segment == 0 ? program_.init()
-                                             : program_.compute();
+        // Segment 0 and dual-mode resident segments program at init
+        // time; other later segments reprogram inline — they
+        // time-multiplex the same cores (the reload of Figure 9(b)).
+        auto &section =
+            (mapping.segment == 0 || mapping.resident)
+                ? program_.init()
+                : program_.compute();
         for (Stmt &stmt : writes)
             section.push_back(std::move(stmt));
     }
@@ -708,9 +712,12 @@ Emitter::emitDigital(const Node &node)
         return BufAddr{MemSpace::kL0, 0, offsetOf(node.inputs[i])};
     };
     const BufAddr out_addr{MemSpace::kL0, 0, offsetOf(out)};
+    const bool on_host = schedule_.hasMapping(node.id) &&
+                         schedule_.mapping(node.id).on_host;
 
     MetaOp op;
     op.kind = MetaOpKind::kDcom;
+    op.host = on_host;
     op.origin = node.id;
     op.dst = out_addr;
     op.len = graph_.tensor(node.inputs.empty() ? out : node.inputs[0])
@@ -786,6 +793,7 @@ Emitter::emitDigital(const Node &node)
                                            .numel();
             MetaOp mov;
             mov.kind = MetaOpKind::kMov;
+            mov.host = on_host;
             mov.src = in_addr(i);
             mov.dst = {MemSpace::kL0, 0,
                        offsetOf(out) + channel_base};

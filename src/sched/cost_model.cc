@@ -255,6 +255,25 @@ reloadCycles(const CimArchitecture &arch,
 }
 
 double
+segmentReloadCycles(const CimArchitecture &arch,
+                    const std::vector<const NodeCost *> &members)
+{
+    std::int64_t bottleneck = 1;
+    for (const NodeCost *cost : members) {
+        if (cost == nullptr || !cost->is_cim
+            || cost->cores_per_replica <= 0)
+            continue;
+        const std::int64_t xbs = cost->grid.physicalCrossbars();
+        const std::int64_t per_core =
+            (xbs + cost->cores_per_replica - 1) / cost->cores_per_replica;
+        if (per_core > bottleneck)
+            bottleneck = per_core;
+    }
+    return static_cast<double>(bottleneck) *
+           reloadCycles(arch, arch.xbar.rows);
+}
+
+double
 bandwidthBoundCyclesPerWindow(const NodeCost &cost,
                               const CimArchitecture &arch)
 {

@@ -53,6 +53,9 @@ struct NodeCost {
     double alu_cycles = 0.0;    //!< digital stage latency
     //! bits crossing the chip NoC per window (input + output)
     double transfer_bits_per_window = 0.0;
+    //! hybrid offload: this digital node was moved to the host and
+    //! alu_cycles carries its share of the host region's time
+    bool on_host = false;
 };
 
 /**
@@ -126,6 +129,21 @@ double transferFloorCycles(const std::vector<const NodeCost *> &members,
  */
 double reloadCycles(const CimArchitecture &arch,
                     std::int64_t max_rows_any_crossbar);
+
+/**
+ * Cycles to (re)program the weights of one segment whose members are
+ * @p members. Cores program in parallel, but a core's write drivers
+ * are shared across its crossbars, so a core holding k crossbars of
+ * one replica programs them serially: the segment's reload is the
+ * bottleneck core's crossbar count times reloadCycles(). Duplication
+ * does not change the bound — replicas live on their own cores with
+ * the same crossbars-per-core ratio. This per-core serialization is
+ * what makes dual-mode residency a real trade: pinning a
+ * many-crossbars-per-core segment removes volume, not just a flat
+ * per-segment constant.
+ */
+double segmentReloadCycles(const CimArchitecture &arch,
+                           const std::vector<const NodeCost *> &members);
 
 /**
  * Effective per-window cycle count including a bandwidth bound: when the

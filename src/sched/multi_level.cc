@@ -31,6 +31,10 @@ ScheduleOptions::toString() const
     if (segment_max_nodes > 0)
         parts.push_back(strformat("seg<=%lld", static_cast<long long>(
                                                    segment_max_nodes)));
+    if (dual_mode)
+        parts.push_back("dual");
+    if (host_offload)
+        parts.push_back("host");
     return parts.empty() ? "none" : join(parts, "+");
 }
 
@@ -90,7 +94,7 @@ refreshCmActivationStats(CgResult &cg, bool cg_pipeline)
 
 StatusOr<Schedule>
 scheduleGraph(const Graph &graph, const CimArchitecture &arch,
-              const ScheduleOptions &options)
+              const ScheduleOptions &options, const HostModel &host)
 {
     CIMMLC_RETURN_IF_ERROR(validateGraphForScheduling(graph));
 
@@ -104,8 +108,8 @@ scheduleGraph(const Graph &graph, const CimArchitecture &arch,
         effective.vvm_remap = false;
     }
 
-    CIMMLC_ASSIGN_OR_RETURN(CgResult cg,
-                            runCgOptimization(graph, arch, effective));
+    CIMMLC_ASSIGN_OR_RETURN(
+        CgResult cg, runCgOptimization(graph, arch, effective, host));
     if (arch.mode != ComputeMode::kCM) {
         CIMMLC_RETURN_IF_ERROR(
             runMvmOptimization(graph, arch, effective, &cg));
@@ -125,6 +129,8 @@ scheduleGraph(const Graph &graph, const CimArchitecture &arch,
     schedule.mode = arch.mode;
     schedule.options = effective;
     schedule.segments = cg.segments;
+    schedule.host_regions = std::move(cg.host_regions);
+    schedule.host_model = host;
 
     for (const NodeCost &cost : cg.costs) {
         OperatorMapping mapping;
@@ -135,6 +141,7 @@ scheduleGraph(const Graph &graph, const CimArchitecture &arch,
         mapping.base_latency = cost.base_latency;
         mapping.fill_fraction = cost.fill_fraction;
         mapping.alu_cycles = cost.alu_cycles;
+        mapping.on_host = cost.on_host;
         mapping.grid = cost.grid;
         mapping.chip_splits = cost.chip_splits;
 
@@ -147,6 +154,7 @@ scheduleGraph(const Graph &graph, const CimArchitecture &arch,
             mapping.core_base = decision.core_base;
             mapping.segment = decision.segment;
             mapping.stage_latency = decision.stage_latency;
+            mapping.resident = decision.resident;
         }
         auto vit = cg.vvm_spreads.find(cost.node);
         if (vit != cg.vvm_spreads.end())
@@ -199,10 +207,19 @@ Schedule::summary(const Graph &graph) const
         const Segment &segment = segments[s];
         out << strformat(
             "  segment %zu: %zu nodes, %lld cores, %.3g cycles "
-            "(+%.3g reload)\n",
+            "(+%.3g reload)%s\n",
             s, segment.nodes.size(),
             static_cast<long long>(segment.cores_used),
-            segment.latency_cycles, segment.reload_cycles);
+            segment.latency_cycles, segment.reload_cycles,
+            segment.resident ? " [resident]" : "");
+    }
+    for (std::size_t r = 0; r < host_regions.size(); ++r) {
+        const HostRegion &region = host_regions[r];
+        out << strformat(
+            "  host region %zu: %zu nodes, %.3g host cycles "
+            "(vs %.3g chip), %.3g transfer bits\n",
+            r, region.nodes.size(), region.host_cycles,
+            region.chip_cycles, region.transfer_bits);
     }
     for (const OperatorMapping &mapping : ops) {
         if (!mapping.is_cim)

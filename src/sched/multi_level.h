@@ -39,12 +39,15 @@ Status refreshCmActivationStats(CgResult &cg, bool cg_pipeline);
  *
  * The architecture's computing mode bounds the deepest level applied;
  * options can disable levels below that bound (for ablations) but never
- * enable levels the programming interface does not expose.
+ * enable levels the programming interface does not expose. @p host is
+ * the host-CPU cost model used when options.host_offload is set; the
+ * default model keeps the schedule identical for non-offload requests.
  */
 StatusOr<Schedule> scheduleGraph(const Graph &graph,
                                  const CimArchitecture &arch,
                                  const ScheduleOptions &options =
-                                     ScheduleOptions::full());
+                                     ScheduleOptions::full(),
+                                 const HostModel &host = HostModel{});
 
 } // namespace cimmlc
 

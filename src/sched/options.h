@@ -39,6 +39,21 @@ struct ScheduleOptions {
     //! writes (SRAM), a loss on ReRAM. The auto-tuner searches this.
     std::int64_t segment_max_nodes = 0;
 
+    //! Dual-mode arrays ("Be CIM or Be Memory"): pin whole segments
+    //! resident — their crossbars are programmed once at init time and
+    //! never reclaimed, trading duplication budget elsewhere for the
+    //! segment's per-inference weight reload. The CG level greedily
+    //! marks segments resident while the schedule's total latency
+    //! strictly improves. The auto-tuner searches this.
+    bool dual_mode = false;
+
+    //! Hybrid host/CIM offload (TDO-CIM): price maximal runs of
+    //! consecutive digital nodes against the request's host-CPU cost
+    //! model (sched/host_model.h) and run a region on the host when
+    //! launch + boundary transfer + host compute beats the chip ALU
+    //! time. The auto-tuner searches this.
+    bool host_offload = false;
+
     /** Everything off — the "w/o optimization" baseline of Figure 20(d). */
     static ScheduleOptions
     none()

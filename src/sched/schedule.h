@@ -15,6 +15,7 @@
 
 #include "arch/arch.h"
 #include "graph/node.h"
+#include "sched/host_model.h"
 #include "sched/mapping.h"
 #include "sched/options.h"
 
@@ -34,6 +35,16 @@ struct OperatorMapping {
     std::int64_t segment = 0;           //!< pipeline segment index
     //! serial chunks when a single replica exceeds the whole chip
     std::int64_t chip_splits = 1;
+
+    //! dual-mode: this node's segment is resident — its crossbars are
+    //! programmed at init time and never reprogrammed (no reload, no
+    //! per-inference write energy)
+    bool resident = false;
+
+    //! hybrid offload: this digital node runs on the host CPU; its
+    //! latency (launch + link transfer + host compute) is folded into
+    //! alu_cycles and its energy priced by the schedule's host model
+    bool on_host = false;
 
     // ----- MVM-grained results ------------------------------------------
     VxbGrid grid;                       //!< weight tiling (CIM ops)
@@ -76,6 +87,17 @@ struct Segment {
     std::int64_t cores_used = 0;
     //! peak simultaneously-active crossbars while this segment runs
     std::int64_t peak_active_xbs = 0;
+    //! dual-mode: cores permanently claimed at the top of the core
+    //! space; weights programmed once at init, reload_cycles == 0
+    bool resident = false;
+};
+
+/** One offloaded run of consecutive digital nodes (hybrid offload). */
+struct HostRegion {
+    std::vector<NodeId> nodes;    //!< members in topo order
+    double host_cycles = 0.0;     //!< launch + transfer + host compute
+    double chip_cycles = 0.0;     //!< the chip ALU time it replaced
+    double transfer_bits = 0.0;   //!< boundary tensors over the host link
 };
 
 /** A complete multi-level schedule. */
@@ -92,6 +114,12 @@ struct Schedule {
     double total_latency_cycles = 0.0;
     double total_reload_cycles = 0.0;
     std::int64_t peak_active_xbs = 0; //!< max over segments
+
+    //! hybrid offload: the offloaded regions (empty unless
+    //! options.host_offload selected any) and the host model that
+    //! priced them
+    std::vector<HostRegion> host_regions;
+    HostModel host_model;
 
     const OperatorMapping &
     mapping(NodeId node) const

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cache/artifact_cache.h"
+#include "common/logging.h"
 
 namespace cimmlc {
 namespace {
@@ -125,11 +126,22 @@ TEST(ArtifactCacheTest, CapacityIsNeverExceeded)
 
 TEST(ArtifactCacheTest, ZeroCapacityClampsToOne)
 {
+    // The clamp is silent no more: a capacity-0 request cannot disable
+    // the cache (one entry is its smallest size), and the constructor
+    // says so instead of quietly substituting a different limit.
+    const long warnings_before = Logger::warningCount();
     ArtifactCache cache(0);
+    EXPECT_EQ(Logger::warningCount(), warnings_before + 1)
+        << "capacity-0 clamp must emit a diagnostic";
     EXPECT_EQ(cache.capacity(), 1u);
     cache.insert("s", "a", entry(1));
     cache.insert("s", "b", entry(2));
     EXPECT_EQ(cache.size(), 1u);
+
+    // Non-zero capacities construct quietly.
+    const long warnings_mid = Logger::warningCount();
+    ArtifactCache quiet(1);
+    EXPECT_EQ(Logger::warningCount(), warnings_mid);
 }
 
 TEST(ArtifactCacheTest, ClearResetsEntriesButKeepsCounters)

@@ -72,8 +72,8 @@ TEST(TuneCandidateTest, CmChipsNeverGetMvmOrVvmKnobs)
 {
     const auto candidates =
         AutoTuner::enumerateCandidates(ComputeMode::kCM);
-    // 2 CG toggles x binding x 4 segment caps.
-    EXPECT_EQ(candidates.size(), 32u);
+    // 2 CG toggles x binding x 4 segment caps x dual-mode x host-offload.
+    EXPECT_EQ(candidates.size(), 128u);
     for (const ScheduleOptions &options : candidates) {
         EXPECT_FALSE(options.mvm_duplication);
         EXPECT_FALSE(options.mvm_pipeline);
@@ -85,7 +85,7 @@ TEST(TuneCandidateTest, XbmChipsNeverGetVvmKnob)
 {
     const auto candidates =
         AutoTuner::enumerateCandidates(ComputeMode::kXBM);
-    EXPECT_EQ(candidates.size(), 128u);
+    EXPECT_EQ(candidates.size(), 512u);
     for (const ScheduleOptions &options : candidates)
         EXPECT_FALSE(options.vvm_remap);
 }
@@ -93,7 +93,7 @@ TEST(TuneCandidateTest, XbmChipsNeverGetVvmKnob)
 TEST(TuneCandidateTest, WlmChipsGetTheFullSpace)
 {
     EXPECT_EQ(AutoTuner::enumerateCandidates(ComputeMode::kWLM).size(),
-              256u);
+              1024u);
 }
 
 TEST(TuneCandidateTest, TunedConfigOnCmChipRespectsClamp)
@@ -456,8 +456,8 @@ TEST(TuneRegressionTest, TunerStrictlyBeatsDefaultsSomewhere)
         const char *model;
         const char *preset;
     };
-    for (const Pin &pin : {Pin{"lenet5", "jain"},
-                           Pin{"macro_cnn", "jain"}}) {
+    for (const Pin &pin : {Pin{"macro_cnn", "jain"},
+                           Pin{"vgg7", "jia"}}) {
         const AutoTuner tuner(
             AutoTuneConfig{TuneObjective::kLatency, 1});
         auto result = tuner.tune(models::byName(pin.model),

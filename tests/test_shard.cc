@@ -186,6 +186,38 @@ TEST(DseShardTest, ShardingRequiresExhaustiveUntunedSpecs)
     EXPECT_TRUE(validateDseSpecForSharding(smokeDseSpec()).isOk());
 }
 
+// Pins the exact diagnostic texts: the rejection must name the
+// adaptive-search mechanism a shard cannot reproduce, so a spec author
+// knows which key to drop instead of just that sharding "is not
+// allowed".
+TEST(DseShardTest, ShardingRejectionNamesTheAdaptiveMechanism)
+{
+    DseSpec budgeted = smokeDseSpec();
+    budgeted.budget.max_full_evals = 2;
+    const Status budget_status = validateDseSpecForSharding(budgeted);
+    ASSERT_FALSE(budget_status.isOk());
+    EXPECT_EQ(budget_status.message(),
+              "arch-dse sharding requires an exhaustive spec: "
+              "successive-halving promotion compares candidates across "
+              "the whole sweep, which per-shard slices cannot reproduce "
+              "(drop 'budget' / --search-budget)");
+
+    DseSpec tuned = smokeDseSpec();
+    tuned.tune = true;
+    const Status tune_status = validateDseSpecForSharding(tuned);
+    ASSERT_FALSE(tune_status.isOk());
+    EXPECT_EQ(tune_status.message(),
+              "arch-dse sharding requires an untuned spec: "
+              "per-candidate tuning shares one memo across the sweep, "
+              "so shard-local caches would change the reported hit "
+              "accounting (drop 'tune')");
+
+    // restrictToShard surfaces the same named reason.
+    ArchExplorer explorer(std::move(tuned));
+    EXPECT_EQ(explorer.restrictToShard(0, 2).message(),
+              tune_status.message());
+}
+
 TEST(DseShardTest, ExplorerRejectsBadShardFilters)
 {
     ArchExplorer explorer(smokeDseSpec());
